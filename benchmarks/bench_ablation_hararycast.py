@@ -1,0 +1,88 @@
+"""Ablation A4 — §8 extension: Harary graphs of higher connectivity.
+
+"One way to increase reliability would be to design gossiping protocols
+that form Harary graphs of higher connectivity." D-links of connectivity
+t = 2r (r nearest ring neighbors per side) make the deterministic layer
+survive any t−1 failures. We sweep t ∈ {2, 4, 6} after a catastrophic
+failure and also check the pure-d-graph guarantee with adjacent kills.
+"""
+
+from benchmarks.conftest import once, record_table
+from repro.common.rng import RngRegistry
+from repro.dissemination.executor import disseminate
+from repro.dissemination.policies import RingCastPolicy
+from repro.experiments.builder import (
+    build_population,
+    freeze_overlay,
+    warm_up,
+)
+from repro.experiments.config import OverlaySpec
+from repro.extensions.multiring import dgraph_survives
+
+FANOUT = 3
+MESSAGES = 15
+KILL = 0.05
+
+
+def test_ablation_hararycast(benchmark, cfg):
+    def run():
+        rows = {}
+        for connectivity in (2, 4, 6):
+            spec = OverlaySpec(
+                "hararycast", harary_connectivity=connectivity
+            )
+            registry = RngRegistry(cfg.seed).spawn(
+                f"ablation/harary{connectivity}"
+            )
+            population = build_population(cfg, spec, registry)
+            warm_up(population)
+            snapshot = freeze_overlay(population)
+            # Deterministic guarantee: kill t-1 ring-adjacent nodes.
+            order = sorted(
+                snapshot.alive_ids, key=lambda i: snapshot.ring_ids[i]
+            )
+            survives = dgraph_survives(
+                snapshot, order[10 : 10 + connectivity - 1]
+            )
+            damaged = snapshot.kill_fraction(
+                KILL, registry.stream("failures")
+            )
+            origins = registry.stream("origins")
+            targets = registry.stream("targets")
+            results = [
+                disseminate(
+                    damaged,
+                    RingCastPolicy(),
+                    FANOUT,
+                    damaged.random_alive(origins),
+                    targets,
+                )
+                for _ in range(MESSAGES)
+            ]
+            rows[connectivity] = (
+                sum(r.miss_ratio for r in results) / MESSAGES,
+                survives,
+                sum(r.total_messages for r in results) / MESSAGES,
+            )
+        return rows
+
+    rows = once(benchmark, run)
+
+    # Higher connectivity: no worse miss ratio, guarantee holds.
+    assert rows[6][0] <= rows[2][0] + 1e-9
+    assert all(survives for _miss, survives, _msgs in rows.values())
+    # With t > F the d-links dominate, raising the per-message cost.
+    assert rows[6][2] >= rows[2][2]
+
+    lines = [
+        f"[ablation: hararycast] {int(KILL*100)}% catastrophic failure, "
+        f"F={FANOUT}, {MESSAGES} msgs",
+        f"{'t':>3}  {'miss ratio':>11}  {'d-graph survives t-1':>21}  "
+        f"{'mean msgs':>10}",
+    ]
+    for connectivity, (miss, survives, msgs) in rows.items():
+        lines.append(
+            f"{connectivity:>3}  {miss:11.5f}  {str(survives):>21}  "
+            f"{msgs:10.1f}"
+        )
+    record_table(f"ablation_hararycast_{cfg.scale_name}", "\n".join(lines))

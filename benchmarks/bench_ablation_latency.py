@@ -1,0 +1,83 @@
+"""Ablation A1 — the paper's §7 latency-independence claim.
+
+The paper assumes equal latency between all node pairs and argues the
+assumption "does not have an effect on the macroscopic behavior of
+dissemination". We disseminate over the *same* frozen overlay with the
+hop-synchronous executor and with the event-driven executor under
+three latency models, and compare hit ratio and message totals.
+"""
+
+from benchmarks.conftest import once, record_table
+from repro.common.rng import RngRegistry
+from repro.dissemination.event_executor import disseminate_event_driven
+from repro.dissemination.executor import disseminate
+from repro.dissemination.policies import RingCastPolicy
+from repro.experiments.builder import (
+    build_population,
+    freeze_overlay,
+    warm_up,
+)
+from repro.experiments.config import OverlaySpec
+from repro.sim.latency import ConstantLatency, UniformLatency, ZeroLatency
+
+FANOUT = 3
+MESSAGES = 20
+
+
+def test_ablation_latency_independence(benchmark, cfg):
+    def run():
+        registry = RngRegistry(cfg.seed).spawn("ablation/latency")
+        population = build_population(
+            cfg, OverlaySpec("ringcast"), registry
+        )
+        warm_up(population)
+        snapshot = freeze_overlay(population)
+        policy = RingCastPolicy()
+        origins = registry.stream("origins")
+        chosen = [snapshot.random_alive(origins) for _ in range(MESSAGES)]
+
+        rows = {}
+        targets = registry.stream("hop")
+        hop = [
+            disseminate(snapshot, policy, FANOUT, origin, targets)
+            for origin in chosen
+        ]
+        rows["hop-sync"] = (
+            sum(r.hit_ratio for r in hop) / MESSAGES,
+            sum(r.total_messages for r in hop) / MESSAGES,
+        )
+        for name, model in (
+            ("zero-latency", ZeroLatency()),
+            ("constant", ConstantLatency(1.0)),
+            ("uniform[0.1,5]", UniformLatency(0.1, 5.0)),
+        ):
+            stream = registry.stream(f"event/{name}")
+            results = [
+                disseminate_event_driven(
+                    snapshot, policy, FANOUT, origin, stream, model
+                )
+                for origin in chosen
+            ]
+            rows[name] = (
+                sum(r.hit_ratio for r in results) / MESSAGES,
+                sum(r.total_messages for r in results) / MESSAGES,
+            )
+        return rows
+
+    rows = once(benchmark, run)
+
+    hit_ratios = [hit for hit, _msgs in rows.values()]
+    totals = [msgs for _hit, msgs in rows.values()]
+    # Macroscopic behaviour is latency-independent: every executor and
+    # latency model reaches everyone at the same message cost.
+    assert all(h == 1.0 for h in hit_ratios)
+    assert max(totals) - min(totals) < 0.02 * max(totals)
+
+    lines = [
+        f"[ablation: latency] RINGCAST F={FANOUT}, {MESSAGES} msgs, "
+        f"same frozen overlay",
+        f"{'executor/latency':>18}  {'hit ratio':>10}  {'mean msgs':>10}",
+    ]
+    for name, (hit, msgs) in rows.items():
+        lines.append(f"{name:>18}  {hit:10.4f}  {msgs:10.1f}")
+    record_table(f"ablation_latency_{cfg.scale_name}", "\n".join(lines))

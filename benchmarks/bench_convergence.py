@@ -1,0 +1,47 @@
+"""A9 — VICINITY ring-convergence speed vs network size.
+
+The paper warms overlays for 100 cycles, noting these "were more than
+enough" for self-organisation from a star bootstrap. This bench
+measures the actual first-perfect-ring cycle at several network sizes,
+exposing the (roughly logarithmic) growth of convergence time.
+"""
+
+from benchmarks.conftest import once, record_table
+from repro.experiments.convergence import measure_ring_convergence
+
+
+def test_ring_convergence_speed(benchmark, cfg):
+    sizes = [s for s in (100, 200, 400) if s <= cfg.num_nodes] or [100]
+
+    def run():
+        return {
+            size: measure_ring_convergence(
+                num_nodes=size,
+                seed=cfg.seed,
+                max_cycles=150,
+                probe_every=5,
+                view_size=cfg.view_size,
+            )
+            for size in sizes
+        }
+
+    curves = once(benchmark, run)
+
+    for size, curve in curves.items():
+        # The paper's warm-up budget is honoured at every size.
+        assert curve.converged_at is not None
+        assert curve.converged_at <= 100
+
+    lines = [
+        "[convergence] first cycle with a perfect VICINITY ring "
+        "(star bootstrap)",
+        f"{'nodes':>6}  {'converged at cycle':>18}  {'agreement@25':>13}",
+    ]
+    for size, curve in curves.items():
+        at_25 = next(
+            (a for c, a in curve.samples if c == 25), float("nan")
+        )
+        lines.append(
+            f"{size:>6}  {curve.converged_at:>18}  {at_25:13.3f}"
+        )
+    record_table(f"convergence_{cfg.scale_name}", "\n".join(lines))

@@ -1,0 +1,34 @@
+"""Paper Fig. 6: dissemination effectiveness in a static failure-free
+network — miss ratio (a) and complete disseminations (b) vs fanout.
+
+Expected reproduction shape: RINGCAST misses nothing at any fanout
+(miss = 0, complete = 100%); RANDCAST's miss ratio decays roughly
+exponentially with the fanout and its complete-dissemination share
+rises steeply from 0% to 100%.
+"""
+
+from benchmarks.conftest import once, record_table
+from repro.experiments import figures
+from repro.experiments.report import render_effectiveness
+
+
+def test_fig6_static_effectiveness(benchmark, cfg):
+    data = once(benchmark, lambda: figures.figure6(cfg))
+
+    ring_miss = data.miss_percent("ringcast")
+    rand_miss = data.miss_percent("randcast")
+    ring_complete = data.complete_percent("ringcast")
+    rand_complete = data.complete_percent("randcast")
+
+    # RINGCAST: deterministic completeness at every fanout.
+    assert all(m == 0.0 for m in ring_miss)
+    assert all(c == 100.0 for c in ring_complete)
+    # RANDCAST: monotone-ish decay, steep completeness transition.
+    assert rand_miss[0] > 50.0
+    assert rand_miss[-1] < 1.0
+    assert rand_complete[0] == 0.0
+    assert rand_complete[-1] == 100.0
+
+    record_table(
+        f"fig6_{cfg.scale_name}", render_effectiveness(data)
+    )

@@ -1,0 +1,38 @@
+"""Paper Fig. 9: effectiveness after catastrophic failures of 1%, 2%,
+5% and 10% of the nodes (gossip stalled — no self-healing).
+
+Expected shape: RINGCAST strictly more effective at every failure
+level; the gap narrows as the failure volume grows but RINGCAST stays
+roughly an order of magnitude ahead on miss ratio, and far ahead on
+complete disseminations at small fanouts.
+"""
+
+import pytest
+
+from benchmarks.conftest import once, record_table
+from repro.experiments import figures
+from repro.experiments.report import render_effectiveness
+
+
+@pytest.mark.parametrize("fraction", [0.01, 0.02, 0.05, 0.10])
+def test_fig9_catastrophic(benchmark, cfg, fraction):
+    result = once(
+        benchmark, lambda: figures.figure9(cfg, kill_fractions=(fraction,))
+    )
+    data = result[fraction]
+
+    rand_miss = data.miss_percent("randcast")
+    ring_miss = data.miss_percent("ringcast")
+    # RINGCAST ahead overall, and at the mid-range fanouts in particular.
+    assert sum(ring_miss) < sum(rand_miss)
+    mid = slice(1, max(2, len(data.fanouts) // 2))
+    assert all(
+        r <= x + 1e-9 for r, x in zip(ring_miss[mid], rand_miss[mid])
+    )
+    # Failures do produce misses at the lowest fanout.
+    assert ring_miss[0] > 0.0
+
+    record_table(
+        f"fig9_kill{int(fraction * 100):02d}_{cfg.scale_name}",
+        render_effectiveness(data),
+    )

@@ -1,0 +1,115 @@
+"""Paper §2/§7 claim: both protocols distribute dissemination load
+evenly — "a node receiving a message forwards it to F others, just like
+any other node".
+
+Measures per-node forwarding and receiving load over a batch of
+disseminations and reports Jain fairness (1.0 = perfectly even), versus
+the pathological star overlay where the hub relays everything.
+"""
+
+from benchmarks.conftest import once, record_table
+from repro.common.rng import RngRegistry
+from repro.dissemination.executor import disseminate
+from repro.dissemination.policies import (
+    FloodingPolicy,
+    policy_for_snapshot,
+)
+from repro.dissemination.snapshot import OverlaySnapshot
+from repro.experiments.builder import (
+    build_population,
+    freeze_overlay,
+    warm_up,
+)
+from repro.experiments.config import OverlaySpec
+from repro.graphs.generators import star
+from repro.metrics.load import LoadStats
+
+FANOUT = 4
+MESSAGES = 30
+
+
+def accumulate_load(snapshot, registry):
+    policy = policy_for_snapshot(snapshot)
+    origins = registry.stream("origins")
+    targets = registry.stream("targets")
+    sent, received = {}, {}
+    for _ in range(MESSAGES):
+        result = disseminate(
+            snapshot,
+            policy,
+            FANOUT,
+            snapshot.random_alive(origins),
+            targets,
+            collect_load=True,
+        )
+        for node, count in result.sent_per_node.items():
+            sent[node] = sent.get(node, 0) + count
+        for node, count in result.received_per_node.items():
+            received[node] = received.get(node, 0) + count
+    return (
+        LoadStats.from_counters(sent, snapshot.alive_ids),
+        LoadStats.from_counters(received, snapshot.alive_ids),
+    )
+
+
+def test_load_distribution(benchmark, cfg):
+    def run():
+        rows = {}
+        for kind in ("randcast", "ringcast"):
+            registry = RngRegistry(cfg.seed).spawn(f"load/{kind}")
+            population = build_population(
+                cfg, OverlaySpec(kind), registry
+            )
+            warm_up(population)
+            snapshot = freeze_overlay(population)
+            rows[kind] = accumulate_load(snapshot, registry)
+        # Baseline: star overlay, flooding — worst-case distribution.
+        star_snapshot = OverlaySnapshot.from_graph(
+            star(list(range(cfg.num_nodes)))
+        )
+        star_registry = RngRegistry(cfg.seed).spawn("load/star")
+        origins = star_registry.stream("origins")
+        sent = {}
+        for _ in range(MESSAGES):
+            result = disseminate(
+                star_snapshot,
+                FloodingPolicy(),
+                FANOUT,
+                star_snapshot.random_alive(origins),
+                star_registry.stream("targets"),
+                collect_load=True,
+            )
+            for node, count in result.sent_per_node.items():
+                sent[node] = sent.get(node, 0) + count
+        rows["star-flood"] = (
+            LoadStats.from_counters(sent, star_snapshot.alive_ids),
+            None,
+        )
+        return rows
+
+    rows = once(benchmark, run)
+
+    for kind in ("randcast", "ringcast"):
+        sent_stats, recv_stats = rows[kind]
+        assert sent_stats.fairness > 0.9
+        assert recv_stats.fairness > 0.9
+    # The star hub carries essentially all the load.
+    assert rows["star-flood"][0].fairness < 0.1
+
+    lines = [
+        "[load distribution] Jain fairness of per-node load "
+        f"({MESSAGES} msgs, F={FANOUT})",
+        f"{'overlay':>12}  {'sent fairness':>14}  {'recv fairness':>14}  "
+        f"{'max/mean sent':>14}",
+    ]
+    for kind, (sent_stats, recv_stats) in rows.items():
+        ratio = (
+            sent_stats.max_load / sent_stats.mean_load
+            if sent_stats.mean_load
+            else 0.0
+        )
+        recv = f"{recv_stats.fairness:14.3f}" if recv_stats else " " * 14
+        lines.append(
+            f"{kind:>12}  {sent_stats.fairness:14.3f}  {recv}  {ratio:14.1f}"
+        )
+    record_table(f"load_distribution_{cfg.scale_name}", "\n".join(lines))

@@ -1,0 +1,141 @@
+"""A11 — push vs pull dissemination (the paper's §1 trade-off).
+
+"Excessive redundancy of push-based approaches can be reduced …
+by employing pull-based epidemic techniques … However, the periodic
+nature of pull-based gossiping results in relatively long latency."
+
+This bench injects one message and measures time-to-coverage and
+message cost for: RANDCAST push (hops), pull-only anti-entropy
+(cycles), and push-then-pull (RINGCAST-quality completeness from a
+cheap push plus recovery pulls).
+"""
+
+from benchmarks.conftest import once, record_table
+from repro.common.rng import RngRegistry
+from repro.dissemination.executor import disseminate
+from repro.dissemination.message import Message
+from repro.dissemination.policies import RandCastPolicy
+from repro.experiments.builder import (
+    build_population,
+    freeze_overlay,
+    warm_up,
+)
+from repro.experiments.config import OverlaySpec
+from repro.extensions.pull_protocol import PullDissemination
+from repro.extensions.pull_recovery import pull_recovery
+from repro.membership.bootstrap import star_bootstrap
+from repro.membership.cyclon import Cyclon
+from repro.sim.cycle import CycleDriver
+from repro.sim.network import Network
+
+PUSH_FANOUT = 3
+GOSSIP_PERIOD_S = 10.0  # the paper's cycle length (§7.3)
+FORWARD_TIME_S = 0.05  # one push hop: processing + one-way latency
+
+
+def _build_pull_network(num_nodes, config, registry):
+    rng = registry.stream("build")
+    network = Network(rng)
+    nodes = []
+    for _ in range(num_nodes):
+        node = network.create_node()
+        cyclon = Cyclon(
+            node,
+            view_size=config.view_size,
+            shuffle_length=config.shuffle_length,
+        )
+        node.attach("cyclon", cyclon)
+        node.attach("pull", PullDissemination(node, cyclon))
+        nodes.append(node)
+    star_bootstrap(nodes)
+    driver = CycleDriver(network, registry.stream("gossip"))
+    driver.run(50)
+    return network, nodes, driver
+
+
+def test_push_vs_pull(benchmark, cfg):
+    num_nodes = min(cfg.num_nodes, 500)
+    config = cfg.with_overrides(num_nodes=num_nodes)
+
+    def run():
+        rows = {}
+
+        # Push only: RANDCAST at a cheap fanout.
+        registry = RngRegistry(config.seed).spawn("pushpull/push")
+        population = build_population(
+            config, OverlaySpec("randcast"), registry
+        )
+        warm_up(population)
+        snapshot = freeze_overlay(population)
+        push = disseminate(
+            snapshot,
+            RandCastPolicy(),
+            PUSH_FANOUT,
+            snapshot.random_alive(registry.stream("origins")),
+            registry.stream("targets"),
+        )
+        rows["push F=3"] = (
+            push.hit_ratio,
+            push.hops * FORWARD_TIME_S,
+            float(push.total_messages),
+        )
+
+        # Push + pull recovery (pull rounds run at the gossip period).
+        recovery = pull_recovery(
+            snapshot, push, registry.stream("pulls")
+        )
+        rows["push+pull"] = (
+            recovery.final_hit_ratio,
+            push.hops * FORWARD_TIME_S
+            + recovery.rounds_used * GOSSIP_PERIOD_S,
+            float(push.total_messages + recovery.pull_requests),
+        )
+
+        # Pull only: anti-entropy from a single holder.
+        pull_registry = RngRegistry(config.seed).spawn("pushpull/pull")
+        network, nodes, driver = _build_pull_network(
+            num_nodes, config, pull_registry
+        )
+        message = Message(origin=nodes[0].node_id)
+        nodes[0].protocol("pull").publish(message)
+        gossip_before = network.gossip_messages
+        cycles = 0
+        while cycles < 200:
+            driver.run(1)
+            cycles += 1
+            holders = sum(
+                1
+                for node in network.alive_nodes()
+                if node.protocol("pull").knows(message.message_id)
+            )
+            if holders == network.size:
+                break
+        rows["pull only"] = (
+            holders / network.size,
+            cycles * GOSSIP_PERIOD_S,
+            float(network.gossip_messages - gossip_before),
+        )
+        return rows
+
+    rows = once(benchmark, run)
+
+    # Pull eventually completes, but its periodic nature costs wall
+    # clock (paper §1) and steady poll traffic, while push is reactive.
+    assert rows["pull only"][0] == 1.0
+    assert rows["pull only"][1] > 100 * rows["push F=3"][1]
+    assert rows["pull only"][2] > rows["push F=3"][2]
+    # Push+pull reaches full coverage at modest extra cost.
+    assert rows["push+pull"][0] == 1.0
+
+    lines = [
+        f"[push vs pull] one message over N={num_nodes}; wall clock "
+        f"assumes {GOSSIP_PERIOD_S:.0f}s gossip period, "
+        f"{FORWARD_TIME_S * 1000:.0f}ms per push hop",
+        f"{'strategy':>10}  {'hit ratio':>10}  {'latency (s)':>11}  "
+        f"{'messages':>9}",
+    ]
+    for name, (hit, latency, msgs) in rows.items():
+        lines.append(
+            f"{name:>10}  {hit:10.4f}  {latency:11.2f}  {msgs:9.0f}"
+        )
+    record_table(f"push_vs_pull_{cfg.scale_name}", "\n".join(lines))

@@ -1,0 +1,77 @@
+"""A8 — RANDCAST vs the mean-field epidemic prediction.
+
+The paper cites Kermarrec et al. [12] for RANDCAST's analysis; the
+mean-field final-size equation π = 1 − exp(−F·π) predicts the miss
+ratio of outbreak disseminations. This bench sweeps the fanout and
+prints measured vs predicted miss ratios — a statistical-faithfulness
+check on the whole substrate (CYCLON's sampling included).
+"""
+
+from benchmarks.conftest import once, record_table
+from repro.common.rng import RngRegistry
+from repro.dissemination.executor import disseminate
+from repro.dissemination.policies import RandCastPolicy
+from repro.experiments.builder import (
+    build_population,
+    freeze_overlay,
+    warm_up,
+)
+from repro.experiments.config import OverlaySpec
+from repro.metrics.theory import randcast_expected_miss_ratio
+
+MESSAGES = 40
+
+
+def test_theory_vs_measurement(benchmark, cfg):
+    fanouts = tuple(f for f in (2, 3, 4, 5, 6) if f in cfg.fanouts)
+
+    def run():
+        registry = RngRegistry(cfg.seed).spawn("theory")
+        population = build_population(cfg, OverlaySpec("randcast"), registry)
+        warm_up(population)
+        snapshot = freeze_overlay(population)
+        origins = registry.stream("origins")
+        targets = registry.stream("targets")
+        rows = {}
+        for fanout in fanouts:
+            results = [
+                disseminate(
+                    snapshot,
+                    RandCastPolicy(),
+                    fanout,
+                    snapshot.random_alive(origins),
+                    targets,
+                )
+                for _ in range(MESSAGES)
+            ]
+            outbreaks = [r for r in results if r.hit_ratio > 0.5]
+            measured = (
+                sum(r.miss_ratio for r in outbreaks) / len(outbreaks)
+                if outbreaks
+                else 1.0
+            )
+            rows[fanout] = (
+                measured,
+                randcast_expected_miss_ratio(fanout),
+                len(outbreaks),
+            )
+        return rows
+
+    rows = once(benchmark, run)
+
+    for fanout, (measured, predicted, outbreaks) in rows.items():
+        if fanout >= 3 and outbreaks >= MESSAGES // 2:
+            # Finite-N and CYCLON sampling allow a few percent of slack.
+            assert abs(measured - predicted) < 0.05
+
+    lines = [
+        f"[theory vs measurement] RANDCAST outbreak miss ratio, "
+        f"N={cfg.num_nodes}, {MESSAGES} msgs/fanout",
+        f"{'F':>3}  {'measured':>10}  {'mean-field':>11}  {'outbreaks':>9}",
+    ]
+    for fanout, (measured, predicted, outbreaks) in rows.items():
+        lines.append(
+            f"{fanout:>3}  {measured:10.5f}  {predicted:11.5f}  "
+            f"{outbreaks:>9}"
+        )
+    record_table(f"theory_vs_measurement_{cfg.scale_name}", "\n".join(lines))

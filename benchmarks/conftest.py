@@ -1,0 +1,64 @@
+"""Shared benchmark infrastructure.
+
+Every figure bench runs the corresponding generator from
+:mod:`repro.experiments.figures` exactly once (``benchmark.pedantic``
+with one round — these are minutes-long experiments, not
+microseconds-long functions), asserts the paper's qualitative shape,
+and records a paper-style ASCII table. Recorded tables are written to
+``results/`` and echoed into the terminal summary, so a
+``pytest benchmarks/ --benchmark-only | tee bench_output.txt`` run
+captures both timings and the regenerated figure data.
+
+Scale selection: ``REPRO_SCALE`` (tiny / small / medium / paper),
+default ``small``. Figure benches share scenario runs through the
+memoisation in :mod:`repro.experiments.figures` — e.g. Figs. 6/7/8 pay
+for one static sweep per protocol between them.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import List, Tuple
+
+import pytest
+
+from repro.experiments.config import scale_config
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+BENCH_SEED = 42
+
+_TABLES: List[Tuple[str, str]] = []
+
+
+def record_table(name: str, text: str) -> None:
+    """Persist a rendered figure table and queue it for the summary."""
+    _TABLES.append((name, text))
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+
+@pytest.fixture(scope="session")
+def cfg():
+    """The benchmark-wide experiment configuration."""
+    return scale_config(os.environ.get("REPRO_SCALE", "small"), seed=BENCH_SEED)
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _TABLES:
+        return
+    terminalreporter.write_sep("=", "regenerated paper figures")
+    for name, text in _TABLES:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(f"--- {name} ---")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)
+    terminalreporter.write_line("")
+    terminalreporter.write_line(
+        f"(tables also written to {RESULTS_DIR}/)"
+    )

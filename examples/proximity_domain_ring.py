@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Scenario: domain-aware dissemination (paper §8 proximity discussion).
+
+"A message originating in the Netherlands could follow a path such as
+Netherlands → Australia → Switzerland → Canada → … Obviously, such a
+path is far from optimal." The paper's fix: form node IDs by reversing
+the domain name and appending a random number, so the VICINITY layer
+sorts the ring by domain and d-link traffic stays local.
+
+This example builds a plain random-ID ring and a domain-sorted ring
+over 360 nodes spread across 12 organisations, then measures what
+fraction of ring (d-link) hops stay inside an organisation in each.
+
+Run:  python examples/proximity_domain_ring.py
+"""
+
+import random
+
+from repro.common.rng import RngRegistry
+from repro.dissemination.executor import disseminate
+from repro.dissemination.policies import RingCastPolicy
+from repro.experiments.builder import (
+    build_population,
+    freeze_overlay,
+    warm_up,
+)
+from repro.experiments.config import ExperimentConfig, OverlaySpec
+from repro.extensions.domain_ring import domain_locality_score
+
+NUM_NODES = 360
+NUM_DOMAINS = 12
+SEED = 5
+
+
+def build(kind):
+    """Build, warm and freeze one overlay; return (snapshot, domains)."""
+    config = ExperimentConfig(num_nodes=NUM_NODES, seed=SEED)
+    spec = (
+        OverlaySpec("domain_ring", num_domains=NUM_DOMAINS)
+        if kind == "domain_ring"
+        else OverlaySpec("ringcast")
+    )
+    population = build_population(config, spec, RngRegistry(SEED))
+    warm_up(population)
+    snapshot = freeze_overlay(population)
+    if kind == "domain_ring":
+        domains = {
+            node.node_id: node.profile.domain
+            for node in population.network.alive_nodes()
+        }
+    else:
+        # The plain ring ignores organisations: assign them round-robin
+        # to measure how often its random ring crosses org boundaries.
+        domains = {
+            node_id: f"com.example.d{i % NUM_DOMAINS:03d}"
+            for i, node_id in enumerate(snapshot.alive_ids)
+        }
+    return snapshot, domains
+
+
+def main():
+    print(
+        f"Building two overlays over {NUM_NODES} nodes in "
+        f"{NUM_DOMAINS} organisations...\n"
+    )
+    random_ring, random_domains = build("ringcast")
+    domain_ring, domain_domains = build("domain_ring")
+
+    random_locality = domain_locality_score(random_ring, random_domains)
+    domain_locality = domain_locality_score(domain_ring, domain_domains)
+
+    print("Fraction of d-links staying inside one organisation:")
+    print(f"  random-ID ring (plain RINGCAST): {random_locality:7.2%}")
+    print(f"  domain-sorted ring (paper §8):   {domain_locality:7.2%}")
+    print(f"  (random baseline ~ 1/{NUM_DOMAINS} = {1 / NUM_DOMAINS:.2%})")
+
+    result = disseminate(
+        domain_ring, RingCastPolicy(), 3,
+        domain_ring.random_alive(random.Random(1)), random.Random(1),
+    )
+    print(
+        f"\nDissemination on the domain-sorted ring is still complete: "
+        f"{result.notified}/{result.population} nodes in "
+        f"{result.hops} hops."
+    )
+    print(
+        "\nSorting the ring by reversed domain keeps ring traffic inside\n"
+        "organisations without giving up RINGCAST's delivery guarantee."
+    )
+
+
+if __name__ == "__main__":
+    main()

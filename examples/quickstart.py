@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Quickstart: build a RINGCAST overlay and disseminate a message.
+
+This is the 60-second tour of the library:
+
+1. build a 500-node overlay — every node runs CYCLON (random links)
+   and VICINITY (ring links), self-organising from a star bootstrap;
+2. freeze the overlay (the paper's methodology);
+3. post a message from a random node with fanout 3;
+4. compare against RANDCAST, the purely probabilistic baseline.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import build_overlay, disseminate
+
+NUM_NODES = 500
+FANOUT = 3
+SEED = 2007  # the year of the paper
+
+
+def describe(name, result):
+    print(f"  {name}:")
+    print(
+        f"    reached {result.notified}/{result.population} nodes "
+        f"({result.hit_ratio:.2%} hit ratio)"
+    )
+    print(f"    complete dissemination: {result.complete}")
+    print(f"    hops to last node:      {result.hops}")
+    print(
+        f"    messages: {result.total_messages} total = "
+        f"{result.msgs_virgin} virgin + {result.msgs_redundant} redundant"
+    )
+
+
+def main():
+    print(f"Building a {NUM_NODES}-node RINGCAST overlay "
+          "(CYCLON + VICINITY, 100 gossip cycles)...")
+    ringcast = build_overlay(
+        num_nodes=NUM_NODES, protocol="ringcast", seed=SEED
+    )
+
+    print(f"Building a {NUM_NODES}-node RANDCAST overlay (CYCLON only)...")
+    randcast = build_overlay(
+        num_nodes=NUM_NODES, protocol="randcast", seed=SEED
+    )
+
+    print(f"\nDisseminating one message with fanout F={FANOUT}:\n")
+    describe("RINGCAST (hybrid)", disseminate(ringcast, FANOUT, seed=1))
+    describe("RANDCAST (probabilistic)", disseminate(randcast, FANOUT, seed=1))
+
+    print(
+        "\nRINGCAST reaches every node deterministically at any fanout;\n"
+        "RANDCAST at the same cost leaves stragglers — the paper's Fig. 6."
+    )
+    print("\nEven fanout 1 completes on RINGCAST (two ring waves, ~N msgs):")
+    describe("RINGCAST F=1", disseminate(ringcast, 1, seed=1))
+
+
+if __name__ == "__main__":
+    main()

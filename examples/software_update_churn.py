@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Scenario: pushing a security patch through a churning P2P network.
+
+The paper's other motivating workload: "massive distribution of
+software, security patches". File-sharing-style networks churn
+constantly (the paper calibrates to Gnutella: 0.2% of nodes replaced
+per 10-second cycle); a patch announcement must reach the swarm anyway.
+
+This example builds a network, subjects it to continuous churn until a
+large share of the original population has turned over, then pushes a
+patch announcement and reports who missed it — split by node age,
+reproducing the paper's §7.3 insight that only freshly joined nodes
+are at risk (and pull-based recovery mops those up).
+
+Run:  python examples/software_update_churn.py
+"""
+
+import random
+from collections import Counter
+
+from repro.common.rng import RngRegistry
+from repro.dissemination.executor import disseminate
+from repro.dissemination.policies import policy_for_snapshot
+from repro.experiments.builder import (
+    build_population,
+    freeze_overlay,
+    warm_up,
+)
+from repro.experiments.config import ExperimentConfig, OverlaySpec
+from repro.extensions.pull_recovery import pull_recovery
+from repro.failures.churn import ArtificialChurn
+
+NUM_NODES = 400
+CHURN_RATE = 0.005  # 2 nodes replaced per cycle
+CHURN_CYCLES = 800
+FANOUT = 3
+SEED = 11
+
+
+def age_bucket(lifetime):
+    if lifetime <= 10:
+        return "0-10 cycles (just joined)"
+    if lifetime <= 30:
+        return "11-30 cycles (warming up)"
+    return ">30 cycles (established)"
+
+
+def main():
+    config = ExperimentConfig(
+        num_nodes=NUM_NODES,
+        warmup_cycles=100,
+        seed=SEED,
+        churn_rate=CHURN_RATE,
+    )
+    registry = RngRegistry(SEED)
+    population = build_population(config, OverlaySpec("ringcast"), registry)
+
+    print(f"Gossiping {NUM_NODES} nodes for 100 cycles (no churn)...")
+    warm_up(population)
+
+    print(
+        f"Applying churn: {CHURN_RATE:.1%}/cycle for {CHURN_CYCLES} cycles "
+        f"(~{int(CHURN_RATE * NUM_NODES * CHURN_CYCLES)} replacements)..."
+    )
+    churn = ArtificialChurn(CHURN_RATE, population.node_factory)
+    population.driver.churn = churn
+    population.driver.run(CHURN_CYCLES)
+    print(
+        f"  {churn.total_removed} departures, {churn.total_joined} joins; "
+        "freezing overlay."
+    )
+
+    snapshot = freeze_overlay(population)
+    rng = random.Random(SEED)
+    publisher = snapshot.random_alive(rng)
+    result = disseminate(
+        snapshot, policy_for_snapshot(snapshot), FANOUT, publisher, rng
+    )
+
+    print(
+        f"\nPatch announced by node {publisher} at fanout {FANOUT}: "
+        f"reached {result.notified}/{result.population} "
+        f"({result.hit_ratio:.2%}) in {result.hops} hops."
+    )
+
+    buckets = Counter(
+        age_bucket(snapshot.lifetime_of(node)) for node in result.missed_ids
+    )
+    population_buckets = Counter(
+        age_bucket(snapshot.lifetime_of(node))
+        for node in snapshot.alive_ids
+    )
+    print("\nWho missed the patch, by node age:")
+    for bucket in (
+        "0-10 cycles (just joined)",
+        "11-30 cycles (warming up)",
+        ">30 cycles (established)",
+    ):
+        missed = buckets.get(bucket, 0)
+        total = population_buckets.get(bucket, 0)
+        ratio = missed / total if total else 0.0
+        print(f"  {bucket:>27}: {missed:3d} of {total:4d}  ({ratio:.1%})")
+
+    if result.missed_ids:
+        recovery = pull_recovery(snapshot, result, rng, pulls_per_round=1)
+        print(
+            f"\nPull-based recovery (§8 future work): all stragglers "
+            f"patched after {recovery.rounds_used} pull rounds "
+            f"({recovery.pull_requests} poll messages)."
+        )
+    print(
+        "\nEstablished nodes essentially never miss a patch under churn —\n"
+        "misses concentrate on nodes that joined moments ago (Fig. 13)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Scenario: world-wide worm alert notification under failures.
+
+The paper's introduction motivates dissemination with "world-wide worm
+alert notifications": when a worm is detected, an alert must reach
+*every* monitoring node fast, even while parts of the network are
+already compromised or down.
+
+This example models that scenario: a 600-node sensor overlay, a worm
+that has already knocked out a fraction of the sensors, and an alert
+posted by the first sensor to detect it. We sweep the outage fraction
+and compare how many surviving sensors each protocol warns, and how
+fast.
+
+Run:  python examples/worm_alert_broadcast.py
+"""
+
+import random
+
+from repro import build_overlay, disseminate
+
+NUM_SENSORS = 600
+FANOUT = 4
+SEED = 7
+
+
+def main():
+    print(f"Deploying {NUM_SENSORS}-sensor overlays (seed {SEED})...\n")
+    overlays = {
+        "RINGCAST": build_overlay(
+            num_nodes=NUM_SENSORS, protocol="ringcast", seed=SEED
+        ),
+        "RANDCAST": build_overlay(
+            num_nodes=NUM_SENSORS, protocol="randcast", seed=SEED
+        ),
+    }
+
+    print(
+        f"{'outage':>8}  {'protocol':>9}  {'warned':>14}  "
+        f"{'missed':>7}  {'hops':>5}  {'msgs':>6}"
+    )
+    for outage in (0.0, 0.02, 0.05, 0.10, 0.20):
+        for name, snapshot in overlays.items():
+            rng = random.Random(SEED)
+            damaged = (
+                snapshot.kill_fraction(outage, rng) if outage else snapshot
+            )
+            # The alert starts at whichever sensor detects the worm.
+            detector = damaged.random_alive(rng)
+            alert = disseminate(
+                damaged, fanout=FANOUT, origin=detector, seed=rng
+            )
+            print(
+                f"{outage:8.0%}  {name:>9}  "
+                f"{alert.notified:6d}/{alert.population:<6d} "
+                f"{len(alert.missed_ids):7d}  {alert.hops:5d}  "
+                f"{alert.total_messages:6d}"
+            )
+        print()
+
+    print(
+        "RINGCAST keeps warning every (or nearly every) surviving sensor\n"
+        "as outages grow, at identical message cost — the paper's Fig. 9\n"
+        "catastrophic-failure result, instantiated."
+    )
+
+
+if __name__ == "__main__":
+    main()

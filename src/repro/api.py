@@ -1,0 +1,129 @@
+"""High-level facade: build an overlay, disseminate, run scenarios.
+
+These three functions cover the common cases; power users compose the
+underlying layers directly (see README architecture notes).
+
+>>> from repro import build_overlay, disseminate
+>>> snapshot = build_overlay(num_nodes=150, protocol="ringcast", seed=7,
+...                          warmup_cycles=60)
+>>> disseminate(snapshot, fanout=3, seed=1).complete
+True
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Union
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import RngRegistry
+from repro.dissemination.executor import DisseminationResult, disseminate as _run
+from repro.dissemination.policies import TargetPolicy, policy_for_snapshot
+from repro.dissemination.snapshot import OverlaySnapshot
+from repro.experiments.builder import (
+    build_population,
+    freeze_overlay,
+    warm_up,
+)
+from repro.experiments.config import ExperimentConfig, OverlaySpec, scale_config
+from repro.experiments.scenarios import (
+    ChurnOutcome,
+    FanoutSweep,
+    run_catastrophic_scenario,
+    run_churn_scenario,
+    run_static_scenario,
+)
+
+__all__ = ["build_overlay", "disseminate", "run_experiment"]
+
+
+def build_overlay(
+    num_nodes: int = 500,
+    protocol: str = "ringcast",
+    seed: int = 42,
+    view_size: int = 20,
+    warmup_cycles: int = 100,
+    shuffle_length: int = 5,
+    vicinity_gossip_length: int = 10,
+    num_rings: int = 1,
+    harary_connectivity: int = 2,
+    num_domains: int = 20,
+) -> OverlaySnapshot:
+    """Build, warm up, and freeze an overlay in one call.
+
+    ``protocol`` is one of ``"randcast"``, ``"ringcast"``,
+    ``"multiring"``, ``"hararycast"``, ``"domain_ring"``.
+    """
+    config = ExperimentConfig(
+        num_nodes=num_nodes,
+        view_size=view_size,
+        shuffle_length=shuffle_length,
+        vicinity_gossip_length=vicinity_gossip_length,
+        warmup_cycles=warmup_cycles,
+        seed=seed,
+    )
+    spec = OverlaySpec(
+        kind=protocol,
+        num_rings=num_rings,
+        harary_connectivity=harary_connectivity,
+        num_domains=num_domains,
+    )
+    population = build_population(config, spec, RngRegistry(seed))
+    warm_up(population)
+    return freeze_overlay(population)
+
+
+def disseminate(
+    snapshot: OverlaySnapshot,
+    fanout: int = 3,
+    origin: Optional[int] = None,
+    seed: Union[int, random.Random] = 0,
+    policy: Optional[TargetPolicy] = None,
+    collect_load: bool = False,
+) -> DisseminationResult:
+    """Post one message over a frozen overlay and measure it."""
+    rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+    chosen_origin = (
+        origin if origin is not None else snapshot.random_alive(rng)
+    )
+    chosen_policy = (
+        policy if policy is not None else policy_for_snapshot(snapshot)
+    )
+    return _run(
+        snapshot,
+        chosen_policy,
+        fanout,
+        chosen_origin,
+        rng,
+        collect_load=collect_load,
+    )
+
+
+def run_experiment(
+    scenario: str = "static",
+    protocol: str = "ringcast",
+    scale: Optional[str] = None,
+    seed: Optional[int] = None,
+    kill_fraction: float = 0.05,
+    **overrides,
+) -> Union[FanoutSweep, ChurnOutcome]:
+    """Run one full evaluation scenario at a named scale.
+
+    ``scenario`` is ``"static"``, ``"catastrophic"`` or ``"churn"``;
+    extra keyword arguments override
+    :class:`~repro.experiments.config.ExperimentConfig` fields.
+    """
+    config = scale_config(scale, seed=seed)
+    if overrides:
+        config = config.with_overrides(**overrides)
+    spec = OverlaySpec(kind=protocol)
+    if scenario == "static":
+        return run_static_scenario(config, spec)
+    if scenario == "catastrophic":
+        return run_catastrophic_scenario(config, spec, kill_fraction)
+    if scenario == "churn":
+        return run_churn_scenario(config, spec)
+    raise ConfigurationError(
+        f"unknown scenario {scenario!r}; expected static, catastrophic, "
+        "or churn"
+    )

@@ -1,0 +1,260 @@
+"""Command-line interface: ``python -m repro`` / ``repro``.
+
+Regenerates any of the paper's evaluation figures as ASCII tables and
+optional gnuplot ``.dat`` files::
+
+    repro fig6 --scale small --seed 42
+    repro fig9 --out results/
+    repro all --scale medium
+    repro demo
+
+Scales: tiny, small (default), medium, paper — see
+:mod:`repro.experiments.config`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.api import build_overlay, disseminate
+from repro.experiments import figures as fig
+from repro.experiments import report
+from repro.experiments.config import scale_config
+
+__all__ = ["main"]
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale",
+        default=None,
+        help="experiment scale: tiny, small, medium, paper "
+        "(default: $REPRO_SCALE or small)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None, help="root random seed"
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="directory for gnuplot .dat files (optional)",
+    )
+
+
+def _emit(text: str, name: str, out: Optional[Path]) -> None:
+    print(text)
+    print()
+    if out is not None:
+        out.mkdir(parents=True, exist_ok=True)
+        (out / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+
+def _run_fig6(args) -> None:
+    config = scale_config(args.scale, seed=args.seed)
+    data = fig.figure6(config)
+    _emit(report.render_effectiveness(data), "fig6", args.out)
+    if args.out is not None:
+        rows = [
+            [
+                f,
+                data.miss_percent("randcast")[i],
+                data.miss_percent("ringcast")[i],
+                data.complete_percent("randcast")[i],
+                data.complete_percent("ringcast")[i],
+            ]
+            for i, f in enumerate(data.fanouts)
+        ]
+        report.write_dat(
+            args.out / "fig6.dat",
+            ["fanout", "rand_miss", "ring_miss", "rand_compl", "ring_compl"],
+            rows,
+        )
+
+
+def _run_fig7(args) -> None:
+    config = scale_config(args.scale, seed=args.seed)
+    data = fig.figure7(config)
+    _emit(report.render_progress(data), "fig7", args.out)
+
+
+def _run_fig8(args) -> None:
+    config = scale_config(args.scale, seed=args.seed)
+    data = fig.figure8(config)
+    _emit(report.render_messages(data), "fig8", args.out)
+
+
+def _run_fig9(args) -> None:
+    config = scale_config(args.scale, seed=args.seed)
+    for fraction, data in fig.figure9(config).items():
+        _emit(
+            report.render_effectiveness(data),
+            f"fig9_kill{int(fraction * 100)}",
+            args.out,
+        )
+
+
+def _run_fig10(args) -> None:
+    config = scale_config(args.scale, seed=args.seed)
+    data = fig.figure10(config)
+    _emit(report.render_progress(data), "fig10", args.out)
+
+
+def _run_fig11(args) -> None:
+    config = scale_config(args.scale, seed=args.seed)
+    data = fig.figure11(config)
+    _emit(report.render_effectiveness(data), "fig11", args.out)
+
+
+def _run_fig12(args) -> None:
+    config = scale_config(args.scale, seed=args.seed)
+    data = fig.figure12(config)
+    _emit(report.render_lifetimes(data), "fig12", args.out)
+
+
+def _run_fig13(args) -> None:
+    config = scale_config(args.scale, seed=args.seed)
+    data = fig.figure13(config)
+    _emit(report.render_miss_lifetimes(data), "fig13", args.out)
+
+
+_FIGURES = {
+    "fig6": _run_fig6,
+    "fig7": _run_fig7,
+    "fig8": _run_fig8,
+    "fig9": _run_fig9,
+    "fig10": _run_fig10,
+    "fig11": _run_fig11,
+    "fig12": _run_fig12,
+    "fig13": _run_fig13,
+}
+
+
+def _run_theory(args) -> None:
+    from repro.metrics.theory import (
+        epidemic_final_fraction,
+        randcast_expected_miss_ratio,
+    )
+
+    lines = [
+        "[theory] mean-field push epidemic: final fraction pi solves "
+        "pi = 1 - exp(-F*pi)",
+        f"{'F':>3}  {'final fraction':>14}  {'expected miss':>13}",
+    ]
+    for fanout in range(1, 21):
+        lines.append(
+            f"{fanout:>3}  {epidemic_final_fraction(fanout):14.6f}  "
+            f"{randcast_expected_miss_ratio(fanout):13.6f}"
+        )
+    _emit("\n".join(lines), "theory", args.out)
+
+
+def _run_convergence(args) -> None:
+    from repro.experiments.convergence import measure_ring_convergence
+
+    config = scale_config(args.scale, seed=args.seed)
+    sizes = [s for s in (100, 200, 400, 800) if s <= config.num_nodes]
+    lines = [
+        "[convergence] first cycle with a perfect VICINITY ring "
+        "(star bootstrap)",
+        f"{'nodes':>6}  {'converged at cycle':>18}",
+    ]
+    for size in sizes:
+        curve = measure_ring_convergence(
+            num_nodes=size, seed=config.seed, max_cycles=150
+        )
+        lines.append(f"{size:>6}  {str(curve.converged_at):>18}")
+    _emit("\n".join(lines), "convergence", args.out)
+
+
+def _run_all(args) -> None:
+    from repro.experiments.runner import regenerate_all
+
+    config = scale_config(args.scale, seed=args.seed)
+    tables = regenerate_all(
+        config,
+        out_dir=args.out,
+        progress=lambda name, secs: print(f"({name} took {secs:.1f}s)"),
+    )
+    for name, text in tables.items():
+        print(f"=== {name} ===")
+        print(text)
+        print()
+
+
+def _run_demo(args) -> None:
+    seed = args.seed if args.seed is not None else 1
+    print("Building a 300-node RINGCAST overlay (CYCLON + VICINITY)...")
+    snapshot = build_overlay(
+        num_nodes=300, protocol="ringcast", seed=seed, warmup_cycles=80
+    )
+    result = disseminate(snapshot, fanout=3, seed=seed)
+    print(
+        f"fanout=3: reached {result.notified}/{result.population} nodes in "
+        f"{result.hops} hops with {result.total_messages} messages "
+        f"({result.msgs_redundant} redundant)"
+    )
+    print("Building a 300-node RANDCAST overlay (CYCLON only)...")
+    snapshot = build_overlay(
+        num_nodes=300, protocol="randcast", seed=seed, warmup_cycles=80
+    )
+    result = disseminate(snapshot, fanout=3, seed=seed)
+    print(
+        f"fanout=3: reached {result.notified}/{result.population} nodes in "
+        f"{result.hops} hops with {result.total_messages} messages "
+        f"({result.msgs_redundant} redundant)"
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Hybrid Dissemination' (Voulgaris & van "
+            "Steen, Middleware 2007): regenerate any evaluation figure."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    for name, runner in _FIGURES.items():
+        sub = subparsers.add_parser(
+            name, help=f"regenerate paper {name}"
+        )
+        _add_common(sub)
+        sub.set_defaults(func=runner)
+    sub = subparsers.add_parser("all", help="regenerate every figure")
+    _add_common(sub)
+    sub.set_defaults(func=_run_all)
+    sub = subparsers.add_parser(
+        "demo", help="60-second RINGCAST vs RANDCAST demonstration"
+    )
+    _add_common(sub)
+    sub.set_defaults(func=_run_demo)
+    sub = subparsers.add_parser(
+        "theory",
+        help="mean-field miss-ratio predictions for RANDCAST",
+    )
+    _add_common(sub)
+    sub.set_defaults(func=_run_theory)
+    sub = subparsers.add_parser(
+        "convergence",
+        help="VICINITY ring convergence speed vs network size",
+    )
+    _add_common(sub)
+    sub.set_defaults(func=_run_convergence)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    args.func(args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,16 @@
+"""Cross-cutting utilities: deterministic RNG streams, errors, config."""
+
+from repro.common.errors import (
+    ConfigurationError,
+    ReproError,
+    SimulationError,
+)
+from repro.common.rng import RngRegistry, child_seed
+
+__all__ = [
+    "ConfigurationError",
+    "ReproError",
+    "RngRegistry",
+    "SimulationError",
+    "child_seed",
+]

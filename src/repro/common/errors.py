@@ -1,0 +1,30 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch library failures without masking unrelated bugs.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An experiment, protocol, or simulation was misconfigured.
+
+    Raised eagerly (at construction time) so a bad parameter never
+    silently corrupts an hours-long simulation run.
+    """
+
+
+class SimulationError(ReproError):
+    """The simulation reached an inconsistent state.
+
+    This signals a bug in protocol wiring (e.g. delivering a message to
+    a node that was never registered), never a legitimate outcome such
+    as an incomplete dissemination.
+    """
+
+
+class ProtocolError(ReproError):
+    """A gossip protocol violated one of its own invariants."""

@@ -1,0 +1,58 @@
+"""Dissemination protocols (paper §3–§5).
+
+The generic push algorithm (paper Fig. 1a) — forward a message on first
+receipt, never back to its sender, ignore duplicates — is implemented
+once in the executors; protocols differ only in *gossip target
+selection*:
+
+* :class:`FloodingPolicy` — all outgoing links (deterministic
+  dissemination, Fig. 1b), run over the static overlays of
+  :mod:`repro.graphs`;
+* :class:`RandCastPolicy` — F random peers from the node's
+  peer-sampling view (RANDCAST, Fig. 2, the probabilistic baseline);
+* :class:`RingCastPolicy` — both ring neighbors plus F−2 random peers
+  (RINGCAST, Fig. 5, the paper's hybrid contribution). The same policy
+  drives the multi-ring and Harary extensions, whose snapshots simply
+  carry more d-links.
+
+Two executors run any policy over a frozen
+:class:`~repro.dissemination.snapshot.OverlaySnapshot`:
+:func:`~repro.dissemination.executor.disseminate` counts discrete hops
+(the paper's model) and
+:func:`~repro.dissemination.event_executor.disseminate_event_driven`
+delivers through the event engine under a latency model (used to verify
+the paper's latency-independence claim).
+"""
+
+from repro.dissemination.executor import DisseminationResult, disseminate
+from repro.dissemination.event_executor import (
+    EventDisseminationResult,
+    disseminate_event_driven,
+)
+from repro.dissemination.live import disseminate_live
+from repro.dissemination.message import Message
+from repro.dissemination.policies import (
+    FloodingPolicy,
+    RandCastPolicy,
+    RingCastPolicy,
+    TargetPolicy,
+    policy_for_snapshot,
+)
+from repro.dissemination.snapshot import OverlaySnapshot
+from repro.dissemination.store import MessageStore
+
+__all__ = [
+    "DisseminationResult",
+    "EventDisseminationResult",
+    "FloodingPolicy",
+    "Message",
+    "MessageStore",
+    "OverlaySnapshot",
+    "RandCastPolicy",
+    "RingCastPolicy",
+    "TargetPolicy",
+    "disseminate",
+    "disseminate_event_driven",
+    "disseminate_live",
+    "policy_for_snapshot",
+]

@@ -1,0 +1,182 @@
+"""Hop-synchronous dissemination — the paper's evaluation model (§7).
+
+"The generation of a message is marked hop 0. At hop 1, the message
+reaches F neighbors of the origin node. At hop 2, it further reaches
+the neighbors' neighbors, and so on." Every message sent at hop h is
+delivered at hop h+1; first-time receivers forward according to the
+target policy; duplicates and deliveries to dead nodes are counted but
+go nowhere.
+
+The executor produces a :class:`DisseminationResult` carrying exactly
+the quantities the paper's figures plot: hit/miss ratio and
+completeness (Figs. 6, 9, 11), the per-hop not-yet-reached series
+(Figs. 7, 10), virgin vs. redundant message counts (Fig. 8), the missed
+nodes for lifetime analysis (Fig. 13), and optional per-node load
+(the §2 load-distribution criterion).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.errors import ConfigurationError, SimulationError
+from repro.dissemination.policies import TargetPolicy
+from repro.dissemination.snapshot import OverlaySnapshot
+
+__all__ = ["DisseminationResult", "disseminate"]
+
+
+@dataclass(frozen=True)
+class DisseminationResult:
+    """Outcome of one message dissemination over a frozen overlay.
+
+    Attributes:
+        origin: Node the message originated at.
+        fanout: The F parameter used.
+        population: Alive nodes at dissemination time (hit denominator).
+        notified: Number of alive nodes that received the message
+            (including the origin).
+        hops: Hop count at which the last virgin delivery happened
+            (0 when the origin reaches nobody).
+        per_hop_new: Newly notified nodes per hop; index 0 is the origin.
+        msgs_virgin: Deliveries to not-yet-notified alive nodes.
+        msgs_redundant: Deliveries to already-notified nodes.
+        msgs_to_dead: Sends addressed to crashed nodes (lost).
+        missed_ids: Alive nodes the message never reached.
+        sent_per_node / received_per_node: Per-node load, populated only
+            when the executor ran with ``collect_load=True``.
+    """
+
+    origin: int
+    fanout: int
+    population: int
+    notified: int
+    hops: int
+    per_hop_new: Tuple[int, ...]
+    msgs_virgin: int
+    msgs_redundant: int
+    msgs_to_dead: int
+    missed_ids: Tuple[int, ...]
+    sent_per_node: Dict[int, int] = field(default_factory=dict)
+    received_per_node: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of the alive population reached (paper §2)."""
+        return self.notified / self.population
+
+    @property
+    def miss_ratio(self) -> float:
+        """``1 - hit_ratio`` — what Figs. 6/9/11 plot (log scale)."""
+        return 1.0 - self.hit_ratio
+
+    @property
+    def complete(self) -> bool:
+        """``True`` iff every alive node was reached."""
+        return self.notified == self.population
+
+    @property
+    def total_messages(self) -> int:
+        """Every point-to-point send, including those lost to dead nodes."""
+        return self.msgs_virgin + self.msgs_redundant + self.msgs_to_dead
+
+    def not_reached_series(self) -> List[float]:
+        """Percent of nodes not yet reached after each hop (Fig. 7 axes).
+
+        Index h is the state after hop h completed; index 0 reflects
+        only the origin having the message.
+        """
+        remaining = self.population
+        series: List[float] = []
+        for new in self.per_hop_new:
+            remaining -= new
+            series.append(100.0 * remaining / self.population)
+        return series
+
+
+def disseminate(
+    snapshot: OverlaySnapshot,
+    policy: TargetPolicy,
+    fanout: int,
+    origin: int,
+    rng: random.Random,
+    collect_load: bool = False,
+) -> DisseminationResult:
+    """Run one hop-synchronous dissemination and measure it.
+
+    Args:
+        snapshot: The frozen overlay to disseminate over.
+        policy: Target selection strategy (the protocol under test).
+        fanout: System-wide fanout F.
+        origin: Alive node that generates the message.
+        rng: Random stream for target sampling.
+        collect_load: Also record per-node sent/received counters
+            (slower; only the load-distribution bench needs it).
+
+    Raises:
+        ConfigurationError: For a non-positive fanout.
+        SimulationError: When ``origin`` is not alive in the snapshot.
+    """
+    if fanout < 1:
+        raise ConfigurationError(f"fanout must be >= 1, got {fanout}")
+    if not snapshot.is_alive(origin):
+        raise SimulationError(f"origin {origin} is not alive")
+
+    alive = snapshot.alive_set
+    notified = {origin}
+    frontier: List[Tuple[int, Optional[int]]] = [(origin, None)]
+    per_hop_new = [1]
+    msgs_virgin = 0
+    msgs_redundant = 0
+    msgs_to_dead = 0
+    sent_per_node: Dict[int, int] = {}
+    received_per_node: Dict[int, int] = {}
+
+    while frontier:
+        deliveries: List[Tuple[int, int]] = []
+        for node_id, sender_id in frontier:
+            targets = policy.select_targets(
+                snapshot, node_id, sender_id, fanout, rng
+            )
+            for target in targets:
+                deliveries.append((target, node_id))
+            if collect_load:
+                sent_per_node[node_id] = (
+                    sent_per_node.get(node_id, 0) + len(targets)
+                )
+        next_frontier: List[Tuple[int, Optional[int]]] = []
+        for target, sender in deliveries:
+            if target not in alive:
+                msgs_to_dead += 1
+                continue
+            if collect_load:
+                received_per_node[target] = (
+                    received_per_node.get(target, 0) + 1
+                )
+            if target in notified:
+                msgs_redundant += 1
+                continue
+            notified.add(target)
+            msgs_virgin += 1
+            next_frontier.append((target, sender))
+        frontier = next_frontier
+        if next_frontier:
+            per_hop_new.append(len(next_frontier))
+
+    missed = tuple(i for i in snapshot.alive_ids if i not in notified)
+    return DisseminationResult(
+        origin=origin,
+        fanout=fanout,
+        population=snapshot.population,
+        notified=len(notified),
+        hops=len(per_hop_new) - 1,
+        per_hop_new=tuple(per_hop_new),
+        msgs_virgin=msgs_virgin,
+        msgs_redundant=msgs_redundant,
+        msgs_to_dead=msgs_to_dead,
+        missed_ids=missed,
+        sent_per_node=sent_per_node,
+        received_per_node=received_per_node,
+    )

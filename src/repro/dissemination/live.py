@@ -1,0 +1,121 @@
+"""Dissemination over a *live* (still-gossiping) overlay.
+
+The paper freezes gossip before disseminating only after checking that
+it is safe: "We varied the message forwarding time from zero to several
+times the gossiping period. We recorded no effect whatsoever on the
+macroscopic behavior of disseminations" (§7.1). This module reproduces
+that experiment: the overlay keeps gossiping — ``cycles_per_hop``
+gossip cycles elapse per dissemination hop, i.e. the message forwarding
+time equals that many gossip periods — and every hop's forwarding
+decisions read the *current* views.
+
+Used by ``bench_ablation_live_gossip`` to compare against the frozen
+executor; works under churn adapters too, in which case nodes may die
+mid-dissemination.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from repro.common.errors import ConfigurationError, SimulationError
+from repro.dissemination.executor import DisseminationResult
+from repro.dissemination.policies import TargetPolicy, policy_for_snapshot
+
+__all__ = ["disseminate_live"]
+
+
+def disseminate_live(
+    population,
+    fanout: int,
+    origin: int,
+    rng: random.Random,
+    policy: Optional[TargetPolicy] = None,
+    cycles_per_hop: int = 1,
+) -> DisseminationResult:
+    """Hop-synchronous dissemination with gossip running between hops.
+
+    Args:
+        population: A warmed-up
+            :class:`~repro.experiments.builder.Population`.
+        fanout: System-wide fanout F.
+        origin: Alive origin node.
+        rng: Random stream for target selection.
+        policy: Target policy; defaults to the population's overlay kind.
+        cycles_per_hop: Gossip cycles executed between consecutive
+            dissemination hops (message forwarding time expressed in
+            gossip periods). 0 keeps the overlay still — equivalent to
+            the frozen executor.
+
+    The hit-ratio denominator is the population alive when the message
+    was generated *and* still alive when dissemination ended — nodes
+    that die mid-flight are excluded, nodes that join mid-flight are
+    not counted against the protocol.
+    """
+    from repro.experiments.builder import freeze_overlay
+
+    if fanout < 1:
+        raise ConfigurationError(f"fanout must be >= 1, got {fanout}")
+    if cycles_per_hop < 0:
+        raise ConfigurationError(
+            f"cycles_per_hop must be >= 0, got {cycles_per_hop}"
+        )
+    network = population.network
+    if not network.is_alive(origin):
+        raise SimulationError(f"origin {origin} is not alive")
+
+    initial_alive = set(network.alive_ids())
+    notified = {origin}
+    frontier: List[Tuple[int, Optional[int]]] = [(origin, None)]
+    per_hop_new = [1]
+    msgs_virgin = 0
+    msgs_redundant = 0
+    msgs_to_dead = 0
+
+    while frontier:
+        population.driver.run(cycles_per_hop)
+        snapshot = freeze_overlay(population)
+        chosen_policy = (
+            policy if policy is not None else policy_for_snapshot(snapshot)
+        )
+        deliveries: List[Tuple[int, int]] = []
+        for node_id, sender_id in frontier:
+            if not snapshot.is_alive(node_id):
+                # The holder died before forwarding; its copy is lost.
+                continue
+            targets = chosen_policy.select_targets(
+                snapshot, node_id, sender_id, fanout, rng
+            )
+            deliveries.extend((target, node_id) for target in targets)
+        next_frontier: List[Tuple[int, Optional[int]]] = []
+        for target, sender in deliveries:
+            if not snapshot.is_alive(target):
+                msgs_to_dead += 1
+                continue
+            if target in notified:
+                msgs_redundant += 1
+                continue
+            notified.add(target)
+            msgs_virgin += 1
+            next_frontier.append((target, sender))
+        frontier = next_frontier
+        if next_frontier:
+            per_hop_new.append(len(next_frontier))
+
+    final_alive = set(network.alive_ids())
+    denominator = sorted(initial_alive & final_alive)
+    reached = [n for n in denominator if n in notified]
+    missed = tuple(n for n in denominator if n not in notified)
+    return DisseminationResult(
+        origin=origin,
+        fanout=fanout,
+        population=len(denominator),
+        notified=len(reached),
+        hops=len(per_hop_new) - 1,
+        per_hop_new=tuple(per_hop_new),
+        msgs_virgin=msgs_virgin,
+        msgs_redundant=msgs_redundant,
+        msgs_to_dead=msgs_to_dead,
+        missed_ids=missed,
+    )

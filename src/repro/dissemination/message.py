@@ -1,0 +1,41 @@
+"""Disseminated messages.
+
+The evaluation executors track a single message per run implicitly; the
+explicit :class:`Message` object exists for the subsystems that manage
+message *stores* — pull-based recovery (nodes answer "which messages do
+you have?") and topic-based publish/subscribe (events are tagged with
+their topic).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = ["Message"]
+
+_message_counter = itertools.count()
+
+
+@dataclass(frozen=True)
+class Message:
+    """An application message injected at ``origin``.
+
+    Attributes:
+        message_id: Globally unique sequence number.
+        origin: Node ID that generated the message.
+        payload: Opaque application data.
+        topic: Topic name for publish/subscribe, ``None`` otherwise.
+    """
+
+    origin: int
+    payload: Any = None
+    topic: Optional[str] = None
+    message_id: int = field(
+        default_factory=lambda: next(_message_counter)
+    )
+
+    def __str__(self) -> str:
+        topic = f", topic={self.topic!r}" if self.topic else ""
+        return f"Message#{self.message_id}(origin={self.origin}{topic})"

@@ -1,0 +1,91 @@
+"""Per-node message buffers for pull-based dissemination.
+
+The paper defers pull-based dissemination to future work, noting the
+new knobs it introduces: "the pull frequency, the duration for which
+nodes maintain old messages, the size of buffers on nodes" (§8). A
+:class:`MessageStore` is that buffer: a bounded, insertion-ordered
+collection of :class:`~repro.dissemination.message.Message` objects
+with FIFO eviction, plus the digest operations anti-entropy needs
+("which message IDs do you have?" / "send me what I'm missing").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional
+
+from repro.common.errors import ConfigurationError
+from repro.dissemination.message import Message
+
+__all__ = ["MessageStore"]
+
+
+class MessageStore:
+    """Bounded FIFO buffer of disseminated messages.
+
+    Eviction drops the *oldest* stored message first — the paper's
+    "duration for which nodes maintain old messages" becomes a buffer
+    residency time. ``capacity=None`` means unbounded (the default for
+    short experiments).
+    """
+
+    __slots__ = ("capacity", "_messages", "evicted")
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ConfigurationError(
+                f"capacity must be >= 1 or None, got {capacity}"
+            )
+        self.capacity = capacity
+        self._messages: Dict[int, Message] = {}
+        self.evicted = 0
+
+    def add(self, message: Message) -> bool:
+        """Store ``message``; returns ``False`` if it was already held.
+
+        When full, the oldest stored message is evicted to make room.
+        """
+        if message.message_id in self._messages:
+            return False
+        if self.capacity is not None and len(self._messages) >= self.capacity:
+            oldest_id = next(iter(self._messages))
+            del self._messages[oldest_id]
+            self.evicted += 1
+        self._messages[message.message_id] = message
+        return True
+
+    def has(self, message_id: int) -> bool:
+        """``True`` iff the message is currently buffered."""
+        return message_id in self._messages
+
+    def digest(self) -> FrozenSet[int]:
+        """The IDs of all buffered messages (the anti-entropy digest)."""
+        return frozenset(self._messages)
+
+    def missing_given(self, known_ids: Iterable[int]) -> List[Message]:
+        """Buffered messages whose IDs are *not* in ``known_ids``.
+
+        This is the responder side of a pull: ship what the poller
+        lacks, oldest first (insertion order).
+        """
+        known = set(known_ids)
+        return [
+            message
+            for message_id, message in self._messages.items()
+            if message_id not in known
+        ]
+
+    def messages(self) -> List[Message]:
+        """All buffered messages, oldest first."""
+        return list(self._messages.values())
+
+    @property
+    def size(self) -> int:
+        """Number of buffered messages."""
+        return len(self._messages)
+
+    def __contains__(self, message_id: int) -> bool:
+        return message_id in self._messages
+
+    def __repr__(self) -> str:
+        cap = self.capacity if self.capacity is not None else "inf"
+        return f"MessageStore({self.size}/{cap}, evicted={self.evicted})"

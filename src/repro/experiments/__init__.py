@@ -1,0 +1,60 @@
+"""The evaluation harness (paper §7).
+
+Every experiment follows the paper's pipeline::
+
+    build population  →  gossip warm-up  →  freeze overlay
+         →  (inject failures?)  →  disseminate  →  measure
+
+:mod:`repro.experiments.config` defines scale presets (``small``,
+``medium``, ``paper``) selectable via the ``REPRO_SCALE`` environment
+variable; :mod:`repro.experiments.builder` constructs protocol stacks;
+:mod:`repro.experiments.scenarios` runs the three evaluation scenarios
+(static failure-free, catastrophic failure, continuous churn);
+:mod:`repro.experiments.figures` regenerates each of the paper's
+evaluation figures as structured data; and
+:mod:`repro.experiments.report` renders them as paper-style tables.
+"""
+
+from repro.experiments.config import (
+    ExperimentConfig,
+    OverlaySpec,
+    scale_config,
+)
+from repro.experiments.builder import (
+    build_population,
+    freeze_overlay,
+    make_node_factory,
+    warm_up,
+)
+from repro.experiments.convergence import (
+    ConvergenceCurve,
+    RingConvergenceProbe,
+    measure_ring_convergence,
+)
+from repro.experiments.runner import regenerate_all
+from repro.experiments.scenarios import (
+    ChurnOutcome,
+    FanoutSweep,
+    run_catastrophic_scenario,
+    run_churn_scenario,
+    run_static_scenario,
+)
+
+__all__ = [
+    "ChurnOutcome",
+    "ConvergenceCurve",
+    "ExperimentConfig",
+    "FanoutSweep",
+    "OverlaySpec",
+    "RingConvergenceProbe",
+    "build_population",
+    "freeze_overlay",
+    "make_node_factory",
+    "measure_ring_convergence",
+    "regenerate_all",
+    "run_catastrophic_scenario",
+    "run_churn_scenario",
+    "run_static_scenario",
+    "scale_config",
+    "warm_up",
+]

@@ -1,0 +1,342 @@
+"""Regeneration of every evaluation figure (paper Figs. 6–13).
+
+Each ``figure*`` function returns structured series data; rendering to
+paper-style ASCII tables lives in :mod:`repro.experiments.report`.
+
+Figures sharing underlying runs share them here too: Figs. 6/7/8 read
+one static sweep per protocol, Figs. 11/12/13 one churn run per
+protocol, and Figs. 9/10 share the catastrophic runs per kill fraction.
+Results are memoised per (config, protocol) for the lifetime of the
+process — a bench session regenerating all eight figures pays for each
+warm-up exactly once. Use :func:`clear_caches` to force recomputation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.experiments.config import ExperimentConfig, OverlaySpec
+from repro.experiments.scenarios import (
+    ChurnOutcome,
+    FanoutSweep,
+    run_catastrophic_scenario,
+    run_churn_scenario,
+    run_static_scenario,
+)
+from repro.metrics.dissemination import EffectivenessStats
+
+__all__ = [
+    "EffectivenessFigure",
+    "LifetimeFigure",
+    "MessageFigure",
+    "MissLifetimeFigure",
+    "ProgressFigure",
+    "clear_caches",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "figure10",
+    "figure11",
+    "figure12",
+    "figure13",
+]
+
+PROTOCOLS = ("randcast", "ringcast")
+PAPER_PROGRESS_FANOUTS = (2, 3, 5, 10)
+PAPER_KILL_FRACTIONS = (0.01, 0.02, 0.05, 0.10)
+PAPER_LIFETIME_FANOUTS = (3, 6)
+
+_STATIC_CACHE: Dict[Tuple[ExperimentConfig, str], FanoutSweep] = {}
+_CATASTROPHIC_CACHE: Dict[
+    Tuple[ExperimentConfig, str, float], FanoutSweep
+] = {}
+_CHURN_CACHE: Dict[Tuple[ExperimentConfig, str], ChurnOutcome] = {}
+
+
+def clear_caches() -> None:
+    """Drop every memoised scenario run."""
+    _STATIC_CACHE.clear()
+    _CATASTROPHIC_CACHE.clear()
+    _CHURN_CACHE.clear()
+
+
+def _static_sweep(config: ExperimentConfig, kind: str) -> FanoutSweep:
+    key = (config, kind)
+    if key not in _STATIC_CACHE:
+        _STATIC_CACHE[key] = run_static_scenario(config, OverlaySpec(kind))
+    return _STATIC_CACHE[key]
+
+
+def _catastrophic_sweep(
+    config: ExperimentConfig, kind: str, kill_fraction: float
+) -> FanoutSweep:
+    key = (config, kind, kill_fraction)
+    if key not in _CATASTROPHIC_CACHE:
+        _CATASTROPHIC_CACHE[key] = run_catastrophic_scenario(
+            config, OverlaySpec(kind), kill_fraction
+        )
+    return _CATASTROPHIC_CACHE[key]
+
+
+def _churn_outcome(config: ExperimentConfig, kind: str) -> ChurnOutcome:
+    key = (config, kind)
+    if key not in _CHURN_CACHE:
+        _CHURN_CACHE[key] = run_churn_scenario(config, OverlaySpec(kind))
+    return _CHURN_CACHE[key]
+
+
+def _progress_fanouts(config: ExperimentConfig) -> Tuple[int, ...]:
+    available = set(config.fanouts)
+    return tuple(f for f in PAPER_PROGRESS_FANOUTS if f in available)
+
+
+# ----------------------------------------------------------------------
+# figure data containers
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EffectivenessFigure:
+    """Miss-ratio + completeness vs fanout (Figs. 6, 9, 11)."""
+
+    label: str
+    fanouts: Tuple[int, ...]
+    stats: Dict[str, Dict[int, EffectivenessStats]]
+
+    def miss_percent(self, protocol: str) -> List[float]:
+        """Mean miss-ratio series (percent), one value per fanout."""
+        return [
+            self.stats[protocol][f].mean_miss_percent for f in self.fanouts
+        ]
+
+    def complete_percent(self, protocol: str) -> List[float]:
+        """Complete-dissemination percentage series."""
+        return [
+            self.stats[protocol][f].complete_percent for f in self.fanouts
+        ]
+
+
+@dataclass(frozen=True)
+class ProgressFigure:
+    """Percent-not-reached-yet vs hop (Figs. 7, 10)."""
+
+    label: str
+    fanouts: Tuple[int, ...]
+    mean_series: Dict[str, Dict[int, List[float]]]
+    worst_series: Dict[str, Dict[int, List[float]]]
+
+
+@dataclass(frozen=True)
+class MessageFigure:
+    """Virgin/redundant message split vs fanout (Fig. 8)."""
+
+    label: str
+    fanouts: Tuple[int, ...]
+    virgin: Dict[str, List[float]]
+    redundant: Dict[str, List[float]]
+    to_dead: Dict[str, List[float]]
+
+    def total(self, protocol: str) -> List[float]:
+        """Mean total messages per dissemination, one value per fanout."""
+        return [
+            v + r + d
+            for v, r, d in zip(
+                self.virgin[protocol],
+                self.redundant[protocol],
+                self.to_dead[protocol],
+            )
+        ]
+
+
+@dataclass(frozen=True)
+class LifetimeFigure:
+    """Population lifetime distribution (Fig. 12)."""
+
+    label: str
+    series: Tuple[Tuple[int, int], ...]
+    churn_cycles: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class MissLifetimeFigure:
+    """Missed-node lifetime distributions (Fig. 13)."""
+
+    label: str
+    fanouts: Tuple[int, ...]
+    series: Dict[str, Dict[int, Tuple[Tuple[int, int], ...]]]
+
+
+# ----------------------------------------------------------------------
+# figure generators
+# ----------------------------------------------------------------------
+
+
+def figure6(config: ExperimentConfig) -> EffectivenessFigure:
+    """Fig. 6: dissemination effectiveness, static failure-free network.
+
+    Expected shape: RINGCAST misses nothing at any fanout; RANDCAST's
+    miss ratio decays ~exponentially in F and its complete-dissemination
+    share crosses 0% → 100% steeply.
+    """
+    stats = {
+        kind: {
+            fanout: _static_sweep(config, kind).stats(fanout)
+            for fanout in config.fanouts
+        }
+        for kind in PROTOCOLS
+    }
+    return EffectivenessFigure(
+        label="fig6", fanouts=config.fanouts, stats=stats
+    )
+
+
+def figure7(config: ExperimentConfig) -> ProgressFigure:
+    """Fig. 7: per-hop dissemination progress, static network."""
+    fanouts = _progress_fanouts(config)
+    mean_series: Dict[str, Dict[int, List[float]]] = {}
+    worst_series: Dict[str, Dict[int, List[float]]] = {}
+    for kind in PROTOCOLS:
+        sweep = _static_sweep(config, kind)
+        mean_series[kind] = {}
+        worst_series[kind] = {}
+        for fanout in fanouts:
+            means, _best, worst = sweep.progress(fanout)
+            mean_series[kind][fanout] = means
+            worst_series[kind][fanout] = worst
+    return ProgressFigure(
+        label="fig7",
+        fanouts=fanouts,
+        mean_series=mean_series,
+        worst_series=worst_series,
+    )
+
+
+def figure8(config: ExperimentConfig) -> MessageFigure:
+    """Fig. 8: messages to virgin vs already-notified nodes, static."""
+    virgin: Dict[str, List[float]] = {}
+    redundant: Dict[str, List[float]] = {}
+    to_dead: Dict[str, List[float]] = {}
+    for kind in PROTOCOLS:
+        sweep = _static_sweep(config, kind)
+        virgin[kind] = [
+            sweep.stats(f).mean_msgs_virgin for f in config.fanouts
+        ]
+        redundant[kind] = [
+            sweep.stats(f).mean_msgs_redundant for f in config.fanouts
+        ]
+        to_dead[kind] = [
+            sweep.stats(f).mean_msgs_to_dead for f in config.fanouts
+        ]
+    return MessageFigure(
+        label="fig8",
+        fanouts=config.fanouts,
+        virgin=virgin,
+        redundant=redundant,
+        to_dead=to_dead,
+    )
+
+
+def figure9(
+    config: ExperimentConfig,
+    kill_fractions: Tuple[float, ...] = PAPER_KILL_FRACTIONS,
+) -> Dict[float, EffectivenessFigure]:
+    """Fig. 9: effectiveness after catastrophic failures of 1/2/5/10%."""
+    figures: Dict[float, EffectivenessFigure] = {}
+    for fraction in kill_fractions:
+        stats = {
+            kind: {
+                fanout: _catastrophic_sweep(config, kind, fraction).stats(
+                    fanout
+                )
+                for fanout in config.fanouts
+            }
+            for kind in PROTOCOLS
+        }
+        figures[fraction] = EffectivenessFigure(
+            label=f"fig9@{int(fraction * 100)}%",
+            fanouts=config.fanouts,
+            stats=stats,
+        )
+    return figures
+
+
+def figure10(
+    config: ExperimentConfig, kill_fraction: float = 0.05
+) -> ProgressFigure:
+    """Fig. 10: per-hop progress after a 5% catastrophic failure."""
+    fanouts = _progress_fanouts(config)
+    mean_series: Dict[str, Dict[int, List[float]]] = {}
+    worst_series: Dict[str, Dict[int, List[float]]] = {}
+    for kind in PROTOCOLS:
+        sweep = _catastrophic_sweep(config, kind, kill_fraction)
+        mean_series[kind] = {}
+        worst_series[kind] = {}
+        for fanout in fanouts:
+            means, _best, worst = sweep.progress(fanout)
+            mean_series[kind][fanout] = means
+            worst_series[kind][fanout] = worst
+    return ProgressFigure(
+        label=f"fig10@{int(kill_fraction * 100)}%",
+        fanouts=fanouts,
+        mean_series=mean_series,
+        worst_series=worst_series,
+    )
+
+
+def figure11(config: ExperimentConfig) -> EffectivenessFigure:
+    """Fig. 11: effectiveness under continuous churn.
+
+    Expected shape: RINGCAST ahead at low fanouts (2–5), slightly behind
+    at 6+, with its misses concentrated on fresh joiners (Fig. 13).
+    """
+    stats = {
+        kind: {
+            fanout: _churn_outcome(config, kind).sweep.stats(fanout)
+            for fanout in config.fanouts
+        }
+        for kind in PROTOCOLS
+    }
+    return EffectivenessFigure(
+        label="fig11", fanouts=config.fanouts, stats=stats
+    )
+
+
+def figure12(config: ExperimentConfig) -> LifetimeFigure:
+    """Fig. 12: lifetime distribution of the churned population.
+
+    Protocol-independent population structure; both protocols' churn
+    runs are summed, as the paper sums its 100 experiments.
+    """
+    combined: Dict[int, int] = {}
+    cycles: List[int] = []
+    for kind in PROTOCOLS:
+        outcome = _churn_outcome(config, kind)
+        for lifetime, count in outcome.population_lifetimes.items():
+            combined[lifetime] = combined.get(lifetime, 0) + count
+        cycles.extend(outcome.churn_cycles)
+    return LifetimeFigure(
+        label="fig12",
+        series=tuple(sorted(combined.items())),
+        churn_cycles=tuple(cycles),
+    )
+
+
+def figure13(
+    config: ExperimentConfig,
+    fanouts: Tuple[int, ...] = PAPER_LIFETIME_FANOUTS,
+) -> MissLifetimeFigure:
+    """Fig. 13: lifetimes of the nodes disseminations missed."""
+    available = set(config.fanouts)
+    chosen = tuple(f for f in fanouts if f in available)
+    series: Dict[str, Dict[int, Tuple[Tuple[int, int], ...]]] = {}
+    for kind in PROTOCOLS:
+        outcome = _churn_outcome(config, kind)
+        series[kind] = {}
+        for fanout in chosen:
+            histogram = outcome.missed_lifetimes.get(fanout, {})
+            series[kind][fanout] = tuple(sorted(histogram.items()))
+    return MissLifetimeFigure(
+        label="fig13", fanouts=chosen, series=series
+    )

@@ -1,0 +1,112 @@
+"""One-call regeneration of the paper's complete evaluation.
+
+:func:`regenerate_all` runs every figure generator at a given
+configuration, renders each as its paper-style table, optionally
+persists them (text + gnuplot ``.dat``), and returns the rendered
+tables keyed by figure name. The CLI's ``repro all`` and downstream
+scripts use this instead of stitching the per-figure functions
+together by hand.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Callable, Dict, Optional
+
+from repro.experiments import figures as fig
+from repro.experiments import report
+from repro.experiments.config import ExperimentConfig
+
+__all__ = ["regenerate_all"]
+
+ProgressHook = Callable[[str, float], None]
+
+
+def _render_fig9(config: ExperimentConfig) -> Dict[str, str]:
+    return {
+        f"fig9_kill{int(fraction * 100):02d}": report.render_effectiveness(
+            data
+        )
+        for fraction, data in fig.figure9(config).items()
+    }
+
+
+def regenerate_all(
+    config: ExperimentConfig,
+    out_dir: Optional[Path] = None,
+    progress: Optional[ProgressHook] = None,
+) -> Dict[str, str]:
+    """Regenerate Figs. 6–13 and return ``{figure name: rendered table}``.
+
+    Args:
+        config: The experiment configuration (scale preset or custom).
+        out_dir: When given, each table is written to
+            ``<out_dir>/<name>.txt`` and Fig. 6's series additionally to
+            ``fig6.dat``.
+        progress: Optional callback invoked as ``progress(name,
+            seconds)`` after each figure completes — the CLI uses it to
+            narrate long runs.
+
+    Figures share scenario runs through the module-level caches in
+    :mod:`repro.experiments.figures`, so the full set costs only one
+    static sweep, one catastrophic sweep per kill fraction, and one
+    churn run — per protocol.
+    """
+    tables: Dict[str, str] = {}
+
+    def step(name: str, producer: Callable[[], str]) -> None:
+        started = time.perf_counter()
+        tables[name] = producer()
+        if progress is not None:
+            progress(name, time.perf_counter() - started)
+
+    step("fig6", lambda: report.render_effectiveness(fig.figure6(config)))
+    step("fig7", lambda: report.render_progress(fig.figure7(config)))
+    step("fig8", lambda: report.render_messages(fig.figure8(config)))
+
+    started = time.perf_counter()
+    tables.update(_render_fig9(config))
+    if progress is not None:
+        progress("fig9", time.perf_counter() - started)
+
+    step("fig10", lambda: report.render_progress(fig.figure10(config)))
+    step(
+        "fig11",
+        lambda: report.render_effectiveness(fig.figure11(config)),
+    )
+    step("fig12", lambda: report.render_lifetimes(fig.figure12(config)))
+    step(
+        "fig13",
+        lambda: report.render_miss_lifetimes(fig.figure13(config)),
+    )
+
+    if out_dir is not None:
+        out_dir = Path(out_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        for name, text in tables.items():
+            (out_dir / f"{name}.txt").write_text(
+                text + "\n", encoding="utf-8"
+            )
+        data6 = fig.figure6(config)
+        report.write_dat(
+            out_dir / "fig6.dat",
+            [
+                "fanout",
+                "rand_miss",
+                "ring_miss",
+                "rand_compl",
+                "ring_compl",
+            ],
+            [
+                [
+                    fanout,
+                    data6.miss_percent("randcast")[i],
+                    data6.miss_percent("ringcast")[i],
+                    data6.complete_percent("randcast")[i],
+                    data6.complete_percent("ringcast")[i],
+                ]
+                for i, fanout in enumerate(data6.fanouts)
+            ],
+        )
+    return tables

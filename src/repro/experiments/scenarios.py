@@ -1,0 +1,236 @@
+"""The three evaluation scenarios (paper §7.1–§7.3).
+
+* **Static failure-free** — warm up, freeze, disseminate.
+* **Catastrophic failure** — warm up, freeze, kill a random fraction
+  with *no* self-healing, disseminate over the damaged overlay.
+* **Continuous churn** — gossip under per-cycle replacement until every
+  original node has left at least once, freeze, disseminate; record the
+  lifetime structure of the population and of the missed nodes.
+
+Each scenario sweeps the configured fanouts, posting
+``config.num_messages`` messages from random origins per fanout, over
+``config.num_networks`` (or ``config.churn_networks``) independently
+built networks, and merges everything into a :class:`FanoutSweep`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.rng import RngRegistry
+from repro.dissemination.executor import DisseminationResult, disseminate
+from repro.dissemination.policies import TargetPolicy, policy_for_snapshot
+from repro.dissemination.snapshot import OverlaySnapshot
+from repro.experiments.builder import (
+    build_population,
+    freeze_overlay,
+    warm_up,
+)
+from repro.experiments.config import ExperimentConfig, OverlaySpec
+from repro.failures.churn import ArtificialChurn
+from repro.metrics.dissemination import (
+    EffectivenessStats,
+    aggregate_progress,
+    summarize_runs,
+)
+
+__all__ = [
+    "ChurnOutcome",
+    "FanoutSweep",
+    "run_catastrophic_scenario",
+    "run_churn_scenario",
+    "run_static_scenario",
+    "sweep_snapshot",
+]
+
+
+@dataclass
+class FanoutSweep:
+    """All dissemination runs of one protocol across the fanout grid."""
+
+    protocol: str
+    runs: Dict[int, List[DisseminationResult]] = field(default_factory=dict)
+
+    def add(self, fanout: int, results: List[DisseminationResult]) -> None:
+        """Append results for one fanout (merging across networks)."""
+        self.runs.setdefault(fanout, []).extend(results)
+
+    def merge(self, other: "FanoutSweep") -> None:
+        """Fold another sweep's runs into this one."""
+        for fanout, results in other.runs.items():
+            self.add(fanout, results)
+
+    def fanouts(self) -> Tuple[int, ...]:
+        """The swept fanout values, ascending."""
+        return tuple(sorted(self.runs))
+
+    def stats(self, fanout: int) -> EffectivenessStats:
+        """Aggregated effectiveness at one fanout."""
+        return summarize_runs(self.runs.get(fanout, []))
+
+    def progress(self, fanout: int):
+        """(mean, best, worst) per-hop percent-not-reached envelopes."""
+        return aggregate_progress(self.runs.get(fanout, []))
+
+
+def sweep_snapshot(
+    snapshot: OverlaySnapshot,
+    config: ExperimentConfig,
+    registry: RngRegistry,
+    policy: Optional[TargetPolicy] = None,
+    collect_load: bool = False,
+    fanouts: Optional[Tuple[int, ...]] = None,
+) -> FanoutSweep:
+    """Post ``num_messages`` messages per fanout over a frozen snapshot."""
+    chosen_policy = policy if policy is not None else policy_for_snapshot(
+        snapshot
+    )
+    origins_rng = registry.stream("origins")
+    targets_rng = registry.stream("targets")
+    sweep = FanoutSweep(protocol=chosen_policy.name)
+    for fanout in fanouts if fanouts is not None else config.fanouts:
+        results = []
+        for _ in range(config.num_messages):
+            origin = snapshot.random_alive(origins_rng)
+            results.append(
+                disseminate(
+                    snapshot,
+                    chosen_policy,
+                    fanout,
+                    origin,
+                    targets_rng,
+                    collect_load=collect_load,
+                )
+            )
+        sweep.add(fanout, results)
+    return sweep
+
+
+def _built_snapshot(
+    config: ExperimentConfig, spec: OverlaySpec, registry: RngRegistry
+) -> OverlaySnapshot:
+    population = build_population(config, spec, registry)
+    warm_up(population)
+    return freeze_overlay(population)
+
+
+def run_static_scenario(
+    config: ExperimentConfig,
+    spec: OverlaySpec,
+    collect_load: bool = False,
+) -> FanoutSweep:
+    """§7.1: static failure-free networks."""
+    merged: Optional[FanoutSweep] = None
+    for net_index in range(config.num_networks):
+        registry = RngRegistry(config.seed).spawn(
+            f"static/{spec.kind}/net{net_index}"
+        )
+        snapshot = _built_snapshot(config, spec, registry)
+        sweep = sweep_snapshot(
+            snapshot, config, registry, collect_load=collect_load
+        )
+        if merged is None:
+            merged = sweep
+        else:
+            merged.merge(sweep)
+    assert merged is not None
+    return merged
+
+
+def run_catastrophic_scenario(
+    config: ExperimentConfig,
+    spec: OverlaySpec,
+    kill_fraction: float,
+) -> FanoutSweep:
+    """§7.2: kill a random fraction after freezing, then disseminate."""
+    merged: Optional[FanoutSweep] = None
+    for net_index in range(config.num_networks):
+        registry = RngRegistry(config.seed).spawn(
+            f"catastrophic/{spec.kind}/{kill_fraction}/net{net_index}"
+        )
+        snapshot = _built_snapshot(config, spec, registry)
+        damaged = snapshot.kill_fraction(
+            kill_fraction, registry.stream("failures")
+        )
+        sweep = sweep_snapshot(damaged, config, registry)
+        if merged is None:
+            merged = sweep
+        else:
+            merged.merge(sweep)
+    assert merged is not None
+    return merged
+
+
+@dataclass
+class ChurnOutcome:
+    """Everything the churn scenario measures (Figs. 11, 12, 13).
+
+    Attributes:
+        sweep: Dissemination effectiveness per fanout (Fig. 11).
+        population_lifetimes: ``{lifetime: count}`` of the alive
+            population at freeze, summed over networks (Fig. 12).
+        missed_lifetimes: Per fanout, ``{lifetime: count}`` of the
+            nodes disseminations missed, summed over runs (Fig. 13).
+        churn_cycles: Warm-up cycles each network ran under churn.
+    """
+
+    sweep: FanoutSweep
+    population_lifetimes: Counter = field(default_factory=Counter)
+    missed_lifetimes: Dict[int, Counter] = field(default_factory=dict)
+    churn_cycles: List[int] = field(default_factory=list)
+
+    def record_missed(self, fanout: int, lifetimes: List[int]) -> None:
+        """Accumulate missed-node lifetimes for one run."""
+        self.missed_lifetimes.setdefault(fanout, Counter()).update(lifetimes)
+
+
+def run_churn_scenario(
+    config: ExperimentConfig,
+    spec: OverlaySpec,
+    churn_rate: Optional[float] = None,
+) -> ChurnOutcome:
+    """§7.3: continuous artificial churn until full population turnover.
+
+    The network gossips under churn until every original node has been
+    replaced at least once (capped at ``config.churn_max_cycles``),
+    is then frozen, and the damaged-by-design overlay is swept.
+    """
+    rate = config.churn_rate if churn_rate is None else churn_rate
+    outcome: Optional[ChurnOutcome] = None
+    for net_index in range(config.churn_networks):
+        registry = RngRegistry(config.seed).spawn(
+            f"churn/{spec.kind}/{rate}/net{net_index}"
+        )
+        population = build_population(config, spec, registry)
+        churn = ArtificialChurn(rate, population.node_factory)
+        population.driver.churn = churn
+
+        # An initial churn-free warm-up lets the star bootstrap unfold
+        # before nodes start dying (the paper's networks likewise begin
+        # from a converged state before churn statistics are taken).
+        warm_up(population, config.warmup_cycles)
+        cycles = population.driver.run_until(
+            churn.full_turnover_reached,
+            max_cycles=config.churn_max_cycles,
+        )
+        snapshot = freeze_overlay(population)
+
+        sweep = sweep_snapshot(snapshot, config, registry)
+        if outcome is None:
+            outcome = ChurnOutcome(sweep=sweep)
+        else:
+            outcome.sweep.merge(sweep)
+        outcome.churn_cycles.append(cycles)
+        outcome.population_lifetimes.update(
+            snapshot.lifetime_of(node_id) for node_id in snapshot.alive_ids
+        )
+        for fanout, results in sweep.runs.items():
+            for result in results:
+                outcome.record_missed(
+                    fanout,
+                    [snapshot.lifetime_of(m) for m in result.missed_ids],
+                )
+    assert outcome is not None
+    return outcome

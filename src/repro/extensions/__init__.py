@@ -1,0 +1,48 @@
+"""Extensions sketched in the paper's discussion (§8), implemented.
+
+* **Multiple rings** (:mod:`repro.extensions.multiring`): each node
+  draws k independent sequence IDs and maintains k rings; the d-link
+  graph's minimal cut grows to 2k, buying reliability with gossip
+  traffic.
+* **Harary d-links** (:mod:`repro.extensions.hararycast`): d-links form
+  a circulant graph C(1..r) over the ring order — Harary graph H(n, 2r)
+  — surviving up to 2r−1 failures deterministically.
+* **Domain-proximity ring** (:mod:`repro.extensions.domain_ring`):
+  sequence IDs prefixed with the reversed domain name, so the ring
+  sorts by domain and d-link traffic stays local.
+* **Pull-based recovery** (:mod:`repro.extensions.pull_recovery`): the
+  paper's future-work direction — periodic anti-entropy pulls that let
+  missed nodes recover messages after the push phase.
+"""
+
+from repro.extensions.domain_ring import (
+    domain_locality_score,
+    domain_ring_spec,
+)
+from repro.extensions.hararycast import (
+    harary_dlink_picker,
+    hararycast_spec,
+    nearest_ring_links,
+)
+from repro.extensions.multiring import (
+    dgraph_survives,
+    multiring_spec,
+)
+from repro.extensions.pull_protocol import PullDissemination
+from repro.extensions.pull_recovery import (
+    PullRecoveryResult,
+    pull_recovery,
+)
+
+__all__ = [
+    "PullDissemination",
+    "PullRecoveryResult",
+    "dgraph_survives",
+    "domain_locality_score",
+    "domain_ring_spec",
+    "harary_dlink_picker",
+    "hararycast_spec",
+    "multiring_spec",
+    "nearest_ring_links",
+    "pull_recovery",
+]

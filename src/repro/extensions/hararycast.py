@@ -1,0 +1,81 @@
+"""HARARYCAST: d-links of higher connectivity (paper §8).
+
+"One way to increase reliability would be to design gossiping protocols
+that form Harary graphs of higher connectivity." A bidirectional ring
+is the Harary graph H(n, 2); linking every node to its ``r`` nearest
+successors *and* ``r`` nearest predecessors in ring order yields the
+circulant graph C(1..r) = H(n, 2r), whose minimal cut is 2r — the
+d-link layer alone then survives any 2r−1 node failures.
+
+No new gossip protocol is needed: a converged VICINITY view of size
+``vic`` already contains ≈ vic/2 nearest neighbors per side, so the
+extra d-links are simply *read out* of the existing view at freeze
+time. The dissemination policy is unchanged
+(:class:`~repro.dissemination.policies.RingCastPolicy` forwards across
+every d-link), so HARARYCAST with r=1 *is* RINGCAST.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.membership.views import NodeDescriptor
+from repro.sim.node import RING_ID_SPACE, Node, NodeProfile
+
+__all__ = ["harary_dlink_picker", "hararycast_spec", "nearest_ring_links"]
+
+
+def nearest_ring_links(
+    profile: NodeProfile,
+    descriptors: Sequence[NodeDescriptor],
+    half_width: int,
+    ring_index: int = 0,
+    space: int = RING_ID_SPACE,
+) -> Tuple[int, ...]:
+    """The ``half_width`` nearest successors and predecessors by ring ID.
+
+    Successors minimise clockwise distance, predecessors minimise
+    counter-clockwise distance; each node appears at most once (on the
+    side it is nearer to), so tiny views degrade gracefully.
+    """
+    if half_width < 1:
+        raise ConfigurationError(f"half_width must be >= 1: {half_width}")
+    me = profile.ring_ids[ring_index]
+    by_cw = sorted(
+        descriptors,
+        key=lambda d: (d.profile.ring_ids[ring_index] - me) % space,
+    )
+    by_ccw = sorted(
+        descriptors,
+        key=lambda d: (me - d.profile.ring_ids[ring_index]) % space,
+    )
+    links: List[int] = []
+    for side in (by_cw[:half_width], by_ccw[:half_width]):
+        for descriptor in side:
+            if descriptor.node_id not in links:
+                links.append(descriptor.node_id)
+    return tuple(links)
+
+
+def harary_dlink_picker(half_width: int) -> Callable[[Node], Tuple[int, ...]]:
+    """A snapshot d-link picker reading 2·half_width links per node."""
+
+    def picker(node: Node) -> Tuple[int, ...]:
+        vicinity = node.protocol("vicinity")
+        return nearest_ring_links(
+            node.profile, vicinity.view.descriptors(), half_width
+        )
+
+    return picker
+
+
+def hararycast_spec(connectivity: int):
+    """An :class:`~repro.experiments.config.OverlaySpec` for H(n, t) d-links.
+
+    ``connectivity`` must be even (the circulant construction); t = 2 is
+    plain RINGCAST.
+    """
+    from repro.experiments.config import OverlaySpec
+
+    return OverlaySpec(kind="hararycast", harary_connectivity=connectivity)

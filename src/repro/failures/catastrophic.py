@@ -1,0 +1,38 @@
+"""Catastrophic failures on a live network.
+
+Snapshot-level catastrophic failure lives on
+:meth:`repro.dissemination.snapshot.OverlaySnapshot.kill_fraction`;
+this module provides the live-network equivalent, used by the
+self-healing ablation (gossip allowed to run *after* the failure, which
+the paper notes "does have an effect, namely a positive one").
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.common.errors import ConfigurationError
+from repro.sim.network import Network
+
+__all__ = ["kill_random_fraction"]
+
+
+def kill_random_fraction(
+    network: Network, fraction: float, rng: random.Random
+) -> List[int]:
+    """Crash ``fraction`` of the alive nodes at once.
+
+    Returns the IDs of the killed nodes. At least one node always
+    survives.
+    """
+    if not 0.0 <= fraction < 1.0:
+        raise ConfigurationError(
+            f"kill fraction must be in [0, 1), got {fraction}"
+        )
+    casualties = int(round(fraction * network.size))
+    casualties = min(casualties, network.size - 1)
+    victims = rng.sample(network.alive_ids(), casualties)
+    for node_id in victims:
+        network.kill_node(node_id)
+    return victims

@@ -1,0 +1,41 @@
+"""Static overlay graphs for deterministic dissemination (paper §3).
+
+The paper surveys the overlay families flooding can run on — spanning
+trees, server stars, cliques, and Harary graphs (of which the
+bidirectional ring is the connectivity-2 instance). This package builds
+all of them as directed adjacency maps ``{node_id: (neighbor, ...)}``
+over an arbitrary set of node IDs, plus the analysis toolkit used to
+validate gossip-built overlays against their ideal counterparts.
+"""
+
+from repro.graphs.analysis import (
+    degree_histogram,
+    indegree_map,
+    is_strongly_connected,
+    reachable_from,
+    ring_agreement,
+    sampled_average_path_length,
+)
+from repro.graphs.generators import (
+    balanced_tree,
+    bidirectional_ring,
+    clique,
+    harary_graph,
+    random_out_graph,
+    star,
+)
+
+__all__ = [
+    "balanced_tree",
+    "bidirectional_ring",
+    "clique",
+    "degree_histogram",
+    "harary_graph",
+    "indegree_map",
+    "is_strongly_connected",
+    "random_out_graph",
+    "reachable_from",
+    "ring_agreement",
+    "sampled_average_path_length",
+    "star",
+]

@@ -1,0 +1,178 @@
+"""Generators for the overlay families of paper §3.
+
+All generators return a directed adjacency map ``{node: (neighbors...)}``
+over the given node IDs. "Bidirectional" structures are encoded as two
+opposite directed links, matching the paper's directed-graph framing
+("form a strongly connected directed graph including all nodes").
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence, Tuple
+
+from repro.common.errors import ConfigurationError
+
+__all__ = [
+    "balanced_tree",
+    "bidirectional_ring",
+    "clique",
+    "harary_graph",
+    "random_out_graph",
+    "star",
+]
+
+Adjacency = Dict[int, Tuple[int, ...]]
+
+
+def _check_ids(ids: Sequence[int], minimum: int) -> List[int]:
+    nodes = list(ids)
+    if len(nodes) < minimum:
+        raise ConfigurationError(
+            f"need at least {minimum} nodes, got {len(nodes)}"
+        )
+    if len(set(nodes)) != len(nodes):
+        raise ConfigurationError("node IDs must be unique")
+    return nodes
+
+
+def bidirectional_ring(ids: Sequence[int]) -> Adjacency:
+    """Bidirectional ring in the given order — Harary graph H(n, 2).
+
+    Each node links to its successor and predecessor; the minimal cut is
+    two, so the ring survives any single node failure (paper §5.1).
+
+    >>> bidirectional_ring([1, 2, 3])
+    {1: (2, 3), 2: (3, 1), 3: (1, 2)}
+    """
+    nodes = _check_ids(ids, 2)
+    n = len(nodes)
+    if n == 2:
+        return {nodes[0]: (nodes[1],), nodes[1]: (nodes[0],)}
+    return {
+        nodes[i]: (nodes[(i + 1) % n], nodes[(i - 1) % n])
+        for i in range(n)
+    }
+
+
+def star(ids: Sequence[int], center_index: int = 0) -> Adjacency:
+    """Server-based star: every node linked both ways with the center.
+
+    The worst possible load distribution — the center relays every
+    message — and a single point of failure (paper §3).
+    """
+    nodes = _check_ids(ids, 2)
+    center = nodes[center_index]
+    leaves = [n for n in nodes if n != center]
+    adjacency: Adjacency = {center: tuple(leaves)}
+    for leaf in leaves:
+        adjacency[leaf] = (center,)
+    return adjacency
+
+
+def clique(ids: Sequence[int]) -> Adjacency:
+    """Complete graph: every node knows every other node (paper §3).
+
+    Maximum reliability, impractical maintenance beyond a few dozen
+    nodes; used here as the reliability upper bound in benches.
+    """
+    nodes = _check_ids(ids, 2)
+    node_set = set(nodes)
+    return {
+        node: tuple(other for other in nodes if other != node)
+        for node in node_set
+    }
+
+
+def balanced_tree(ids: Sequence[int], branching: int = 2) -> Adjacency:
+    """Balanced tree with bidirectional parent/child links.
+
+    Optimal message overhead (N-1 point-to-point sends for a broadcast)
+    but any non-leaf failure disconnects a whole branch (paper §3).
+    """
+    if branching < 1:
+        raise ConfigurationError(f"branching must be >= 1, got {branching}")
+    nodes = _check_ids(ids, 1)
+    children: Dict[int, List[int]] = {node: [] for node in nodes}
+    parent: Dict[int, int] = {}
+    for index, node in enumerate(nodes):
+        if index == 0:
+            continue
+        parent_node = nodes[(index - 1) // branching]
+        parent[node] = parent_node
+        children[parent_node].append(node)
+    adjacency: Adjacency = {}
+    for node in nodes:
+        links = list(children[node])
+        if node in parent:
+            links.append(parent[node])
+        adjacency[node] = tuple(links)
+    return adjacency
+
+
+def harary_graph(ids: Sequence[int], connectivity: int) -> Adjacency:
+    """Harary graph H(n, t): minimal-link graph of node connectivity ``t``.
+
+    Uses Harary's classic construction [Harary 1962]:
+
+    * ``t = 2r``: circulant graph — node ``i`` links to ``i ± 1 … i ± r``.
+    * ``t = 2r + 1``, ``n`` even: circulant plus diameters ``i ↔ i + n/2``.
+    * ``t = 2r + 1``, ``n`` odd: circulant plus near-diameters from node
+      ``i`` to ``i + (n-1)/2`` for ``0 <= i <= (n-1)/2``.
+
+    Every link is encoded in both directions. Degrees are ``t`` or
+    ``t + 1``, and the graph survives any ``t - 1`` node failures — the
+    property the paper leans on when proposing higher-connectivity
+    d-link overlays (§8).
+    """
+    nodes = _check_ids(ids, 3)
+    n = len(nodes)
+    t = connectivity
+    if t < 2:
+        raise ConfigurationError(f"connectivity must be >= 2, got {t}")
+    if t >= n:
+        raise ConfigurationError(
+            f"connectivity {t} requires more than {n} nodes"
+        )
+    half = t // 2
+    neighbor_sets: Dict[int, set] = {i: set() for i in range(n)}
+
+    def link(a: int, b: int) -> None:
+        if a != b:
+            neighbor_sets[a].add(b)
+            neighbor_sets[b].add(a)
+
+    for i in range(n):
+        for offset in range(1, half + 1):
+            link(i, (i + offset) % n)
+    if t % 2 == 1:
+        if n % 2 == 0:
+            for i in range(n // 2):
+                link(i, i + n // 2)
+        else:
+            for i in range((n - 1) // 2 + 1):
+                link(i, (i + (n - 1) // 2) % n)
+    return {
+        nodes[i]: tuple(nodes[j] for j in sorted(neighbor_sets[i]))
+        for i in range(n)
+    }
+
+
+def random_out_graph(
+    ids: Sequence[int], out_degree: int, rng: random.Random
+) -> Adjacency:
+    """Directed graph where each node picks ``out_degree`` random targets.
+
+    This is the idealised r-link overlay: what a perfect peer-sampling
+    service would produce. Used as a CYCLON oracle in tests and as a
+    substrate for RANDCAST micro-benches.
+    """
+    nodes = _check_ids(ids, 2)
+    if out_degree < 1:
+        raise ConfigurationError(f"out_degree must be >= 1, got {out_degree}")
+    degree = min(out_degree, len(nodes) - 1)
+    adjacency: Adjacency = {}
+    for node in nodes:
+        pool = [other for other in nodes if other != node]
+        adjacency[node] = tuple(rng.sample(pool, degree))
+    return adjacency

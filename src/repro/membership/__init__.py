@@ -1,0 +1,45 @@
+"""Epidemic membership management (the paper's §6 substrates).
+
+Two gossip layers build the links the dissemination protocols forward
+over:
+
+* **CYCLON** (:mod:`repro.membership.cyclon`) maintains the random
+  links (r-links). It is an instance of the generic peer-sampling
+  framework in :mod:`repro.membership.peer_sampling` and produces
+  overlays statistically close to random graphs.
+* **VICINITY** (:mod:`repro.membership.vicinity`) maintains the
+  deterministic links (d-links). Fed with CYCLON's view as candidates,
+  it converges each node's view to the peers closest under a pluggable
+  proximity function; with ring proximity over random sequence IDs the
+  converged d-links form the global bidirectional ring RINGCAST needs.
+"""
+
+from repro.membership.bootstrap import join_with_contact, star_bootstrap
+from repro.membership.cyclon import Cyclon
+from repro.membership.peer_sampling import (
+    OraclePeerSampling,
+    PeerSamplingService,
+)
+from repro.membership.ring_ids import (
+    OrderedRingProximity,
+    RingProximity,
+    circular_distance,
+    clockwise_distance,
+)
+from repro.membership.views import NodeDescriptor, PartialView
+from repro.membership.vicinity import Vicinity
+
+__all__ = [
+    "Cyclon",
+    "NodeDescriptor",
+    "OraclePeerSampling",
+    "OrderedRingProximity",
+    "PartialView",
+    "PeerSamplingService",
+    "RingProximity",
+    "Vicinity",
+    "circular_distance",
+    "clockwise_distance",
+    "join_with_contact",
+    "star_bootstrap",
+]

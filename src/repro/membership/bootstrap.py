@@ -1,0 +1,60 @@
+"""Bootstrap and join procedures.
+
+The paper initialises every experiment the same way: "Nodes were
+initially supplied with a certain single contact in their CYCLON views,
+forming a star topology. VICINITY views were initially empty." Under
+churn, replacement nodes "join from scratch" with a single random alive
+contact.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence
+
+from repro.common.errors import ConfigurationError
+from repro.membership.cyclon import Cyclon
+from repro.membership.views import NodeDescriptor
+from repro.sim.network import Network
+from repro.sim.node import Node
+
+__all__ = ["join_with_contact", "star_bootstrap"]
+
+
+def star_bootstrap(nodes: Sequence[Node], hub: Optional[Node] = None) -> None:
+    """Point every node's CYCLON view at a single hub (the paper's init).
+
+    The hub itself starts with an empty view; it acquires entries as
+    soon as the spokes begin shuffling with it.
+    """
+    if not nodes:
+        raise ConfigurationError("cannot bootstrap an empty population")
+    hub_node = hub if hub is not None else nodes[0]
+    hub_descriptor = NodeDescriptor(hub_node.node_id, 0, hub_node.profile)
+    for node in nodes:
+        if node.node_id == hub_node.node_id:
+            continue
+        cyclon: Cyclon = node.protocol("cyclon")  # type: ignore[assignment]
+        cyclon.view.add(hub_descriptor.copy())
+
+
+def join_with_contact(
+    joiner: Node, network: Network, rng: random.Random
+) -> Optional[int]:
+    """Give a fresh joiner one random alive contact (join-from-scratch).
+
+    Returns the contact's ID, or ``None`` when the joiner is the only
+    alive node (it then waits to be contacted).
+    """
+    candidates = [
+        node_id
+        for node_id in network.alive_ids()
+        if node_id != joiner.node_id
+    ]
+    if not candidates:
+        return None
+    contact_id = rng.choice(candidates)
+    contact = network.node(contact_id)
+    cyclon: Cyclon = joiner.protocol("cyclon")  # type: ignore[assignment]
+    cyclon.view.add(NodeDescriptor(contact_id, 0, contact.profile))
+    return contact_id

@@ -1,0 +1,171 @@
+"""CYCLON: inexpensive membership management (Voulgaris et al. [19]).
+
+CYCLON maintains, at every node, a small *partial view* of ``cyc``
+random peers, refreshed by periodic *enhanced shuffling*:
+
+1. age every view entry by one cycle;
+2. select the **oldest** entry as gossip partner Q (dead partners are
+   discarded and the next-oldest tried — no retransmissions);
+3. ship ``shuffle_length`` entries to Q: a fresh self-descriptor (age 0)
+   plus ``shuffle_length - 1`` random others; Q's own entry is removed
+   from the view before the exchange;
+4. Q replies with up to ``shuffle_length`` random entries of its own;
+5. both sides merge what they received: self-pointers and duplicates
+   are discarded, empty slots are filled first, then received entries
+   overwrite the slots of entries that were shipped to the other side.
+
+The emergent overlay strongly resembles a random graph with constant
+out-degree ``cyc`` and tightly concentrated in-degrees; a joining
+node's in-degree climbs by ~1 per cycle until it reaches the network
+average after about ``cyc`` cycles — the dynamics behind the paper's
+Figure 13 discussion.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.membership.peer_sampling import PeerSamplingService
+from repro.membership.views import NodeDescriptor, PartialView
+from repro.sim.network import Network
+from repro.sim.node import Node
+from repro.sim.protocol import GossipProtocol
+
+__all__ = ["Cyclon"]
+
+
+class Cyclon(GossipProtocol, PeerSamplingService):
+    """One node's CYCLON instance (r-link substrate + peer sampling)."""
+
+    name = "cyclon"
+
+    def __init__(
+        self,
+        node: Node,
+        view_size: int = 20,
+        shuffle_length: int = 5,
+    ) -> None:
+        if shuffle_length < 1:
+            raise ConfigurationError(
+                f"shuffle_length must be >= 1, got {shuffle_length}"
+            )
+        if shuffle_length > view_size:
+            raise ConfigurationError(
+                f"shuffle_length {shuffle_length} exceeds view size {view_size}"
+            )
+        self.node_id = node.node_id
+        self.profile = node.profile
+        self.view = PartialView(owner_id=node.node_id, capacity=view_size)
+        self.shuffle_length = shuffle_length
+        self.shuffles_initiated = 0
+        self.shuffles_received = 0
+
+    # ------------------------------------------------------------------
+    # GossipProtocol interface
+    # ------------------------------------------------------------------
+
+    def execute_cycle(
+        self, node: Node, network: Network, rng: random.Random
+    ) -> None:
+        """Run one shuffle as initiator (steps 1–5 above)."""
+        self.view.increment_ages()
+        partner_id = self._select_alive_partner(network)
+        if partner_id is None:
+            return
+        partner_node = network.node(partner_id)
+        partner: Cyclon = partner_node.protocol(self.name)  # type: ignore[assignment]
+
+        to_ship = self.view.random_descriptors(
+            self.shuffle_length - 1, rng, exclude=(partner_id,)
+        )
+        shipped_ids = [d.node_id for d in to_ship]
+        payload = [d.copy() for d in to_ship]
+        payload.append(
+            NodeDescriptor(self.node_id, 0, self.profile)
+        )
+        # Q's entry leaves the view: its slot is recycled for the reply.
+        self.view.remove(partner_id)
+
+        network.record_gossip(len(payload))
+        node.messages_sent += 1
+        reply = partner.handle_shuffle(payload, self.node_id, rng)
+        network.record_gossip(len(reply))
+        partner_node.messages_sent += 1
+        node.messages_received += 1
+        partner_node.messages_received += 1
+
+        self._merge(reply, shipped_ids)
+        self.shuffles_initiated += 1
+
+    def handle_shuffle(
+        self,
+        received: List[NodeDescriptor],
+        initiator_id: int,
+        rng: random.Random,
+    ) -> List[NodeDescriptor]:
+        """Responder side: answer with random entries, then merge."""
+        to_ship = self.view.random_descriptors(self.shuffle_length, rng)
+        shipped_ids = [d.node_id for d in to_ship]
+        reply = [d.copy() for d in to_ship]
+        self._merge(received, shipped_ids)
+        self.shuffles_received += 1
+        return reply
+
+    def neighbor_ids(self) -> Tuple[int, ...]:
+        """Current r-links (the view's entry IDs)."""
+        return self.view.ids()
+
+    # ------------------------------------------------------------------
+    # PeerSamplingService interface
+    # ------------------------------------------------------------------
+
+    def sample_ids(
+        self, count: int, rng: random.Random, exclude: Tuple[int, ...] = ()
+    ) -> List[int]:
+        """Up to ``count`` random peers from the current view."""
+        return self.view.random_ids(count, rng, exclude=exclude)
+
+    def known_ids(self) -> Tuple[int, ...]:
+        return self.view.ids()
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _select_alive_partner(self, network: Network) -> int | None:
+        """The oldest alive view entry; dead entries are pruned on contact."""
+        while self.view.size > 0:
+            oldest = self.view.oldest()
+            assert oldest is not None
+            if network.is_alive(oldest.node_id):
+                return oldest.node_id
+            self.view.remove(oldest.node_id)
+            network.record_failed_contact()
+        return None
+
+    def _merge(
+        self, received: List[NodeDescriptor], shipped_ids: List[int]
+    ) -> None:
+        """CYCLON's merge rule (step 5 in the module docstring)."""
+        replaceable = list(shipped_ids)
+        for descriptor in received:
+            if descriptor.node_id == self.node_id:
+                continue
+            if self.view.contains(descriptor.node_id):
+                continue
+            if not self.view.is_full:
+                self.view.add(descriptor)
+                continue
+            while replaceable:
+                victim = replaceable.pop()
+                if self.view.remove(victim):
+                    self.view.add(descriptor)
+                    break
+
+    def __repr__(self) -> str:
+        return (
+            f"Cyclon(node={self.node_id}, view={self.view.size}/"
+            f"{self.view.capacity})"
+        )

@@ -1,0 +1,36 @@
+"""Evaluation metrics (paper §2).
+
+The five criteria the paper evaluates dissemination systems on:
+
+* hit ratio / miss ratio (:mod:`repro.metrics.dissemination`),
+* resilience to failures and churn (same metrics, failure scenarios),
+* dissemination speed in hops (per-hop progress aggregation),
+* message overhead, split into virgin and redundant deliveries,
+* load distribution (:mod:`repro.metrics.load`).
+"""
+
+from repro.metrics.dissemination import (
+    EffectivenessStats,
+    aggregate_progress,
+    summarize_runs,
+)
+from repro.metrics.load import LoadStats, jain_fairness
+from repro.metrics.aggregate import mean, percentile
+from repro.metrics.theory import (
+    epidemic_final_fraction,
+    expected_exponential_hops,
+    randcast_expected_miss_ratio,
+)
+
+__all__ = [
+    "EffectivenessStats",
+    "LoadStats",
+    "aggregate_progress",
+    "epidemic_final_fraction",
+    "expected_exponential_hops",
+    "jain_fairness",
+    "mean",
+    "percentile",
+    "randcast_expected_miss_ratio",
+    "summarize_runs",
+]

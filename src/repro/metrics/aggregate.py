@@ -1,0 +1,53 @@
+"""Small, dependency-free statistics helpers.
+
+The evaluation layer aggregates thousands of scalar samples; these
+helpers keep that code readable without pulling numpy into the library
+core (numpy remains available to benches for heavier analysis).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+from repro.common.errors import ConfigurationError
+
+__all__ = ["mean", "percentile", "stddev"]
+
+
+def mean(samples: Sequence[float]) -> float:
+    """Arithmetic mean; 0.0 for an empty sequence."""
+    if not samples:
+        return 0.0
+    return sum(samples) / len(samples)
+
+
+def stddev(samples: Sequence[float]) -> float:
+    """Population standard deviation; 0.0 for fewer than two samples."""
+    n = len(samples)
+    if n < 2:
+        return 0.0
+    mu = mean(samples)
+    return math.sqrt(sum((x - mu) ** 2 for x in samples) / n)
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0–100), linear interpolation between ranks.
+
+    >>> percentile([1, 2, 3, 4], 50)
+    2.5
+    """
+    if not samples:
+        return 0.0
+    if not 0.0 <= q <= 100.0:
+        raise ConfigurationError(f"percentile must be in [0, 100], got {q}")
+    ordered: List[float] = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return ordered[low]
+    weight = rank - low
+    return ordered[low] * (1.0 - weight) + ordered[high] * weight

@@ -1,0 +1,115 @@
+"""Aggregation of repeated dissemination runs.
+
+The paper reports, for each (protocol, fanout, scenario) cell, numbers
+averaged over 100 experiments: the mean miss ratio (Figs. 6a/9/11
+left), the percentage of complete disseminations (Figs. 6b/9/11 right),
+per-hop progress envelopes (Figs. 7/10) and the virgin/redundant
+message split (Fig. 8). :func:`summarize_runs` computes all of them
+from a list of :class:`DisseminationResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.dissemination.executor import DisseminationResult
+from repro.metrics.aggregate import mean
+
+__all__ = ["EffectivenessStats", "aggregate_progress", "summarize_runs"]
+
+
+@dataclass(frozen=True)
+class EffectivenessStats:
+    """Aggregated effectiveness of a batch of dissemination runs.
+
+    Attributes:
+        runs: Number of experiments aggregated.
+        mean_miss_ratio: Average miss ratio (Fig. 6a's y-axis).
+        complete_fraction: Fraction of runs reaching every node
+            (Fig. 6b's y-axis, as a ratio in [0, 1]).
+        mean_hops: Average hop count of the *last* virgin delivery.
+        max_hops: Worst-case hop count across runs.
+        mean_msgs_virgin / mean_msgs_redundant / mean_msgs_to_dead:
+            Fig. 8's message-split bars.
+        mean_total_messages: Average total point-to-point sends.
+    """
+
+    runs: int
+    mean_miss_ratio: float
+    complete_fraction: float
+    mean_hops: float
+    max_hops: int
+    mean_msgs_virgin: float
+    mean_msgs_redundant: float
+    mean_msgs_to_dead: float
+    mean_total_messages: float
+
+    @property
+    def mean_miss_percent(self) -> float:
+        """Mean miss ratio as a percentage (the paper's log-scale axis)."""
+        return 100.0 * self.mean_miss_ratio
+
+    @property
+    def complete_percent(self) -> float:
+        """Percentage of complete disseminations."""
+        return 100.0 * self.complete_fraction
+
+
+def summarize_runs(
+    results: Sequence[DisseminationResult],
+) -> EffectivenessStats:
+    """Aggregate a batch of runs into :class:`EffectivenessStats`."""
+    if not results:
+        return EffectivenessStats(
+            runs=0,
+            mean_miss_ratio=0.0,
+            complete_fraction=0.0,
+            mean_hops=0.0,
+            max_hops=0,
+            mean_msgs_virgin=0.0,
+            mean_msgs_redundant=0.0,
+            mean_msgs_to_dead=0.0,
+            mean_total_messages=0.0,
+        )
+    return EffectivenessStats(
+        runs=len(results),
+        mean_miss_ratio=mean([r.miss_ratio for r in results]),
+        complete_fraction=mean([1.0 if r.complete else 0.0 for r in results]),
+        mean_hops=mean([float(r.hops) for r in results]),
+        max_hops=max(r.hops for r in results),
+        mean_msgs_virgin=mean([float(r.msgs_virgin) for r in results]),
+        mean_msgs_redundant=mean(
+            [float(r.msgs_redundant) for r in results]
+        ),
+        mean_msgs_to_dead=mean([float(r.msgs_to_dead) for r in results]),
+        mean_total_messages=mean(
+            [float(r.total_messages) for r in results]
+        ),
+    )
+
+
+def aggregate_progress(
+    results: Sequence[DisseminationResult],
+) -> Tuple[List[float], List[float], List[float]]:
+    """Per-hop (mean, best, worst) percent-not-reached envelopes.
+
+    Figures 7 and 10 overlay 100 individual runs; for tabular output we
+    reduce them to an envelope. Shorter runs are padded with their final
+    value — once a dissemination stops, its not-reached share stays
+    constant.
+    """
+    if not results:
+        return [], [], []
+    series = [r.not_reached_series() for r in results]
+    horizon = max(len(s) for s in series)
+    padded = [s + [s[-1]] * (horizon - len(s)) for s in series]
+    means: List[float] = []
+    best: List[float] = []
+    worst: List[float] = []
+    for hop in range(horizon):
+        column = [s[hop] for s in padded]
+        means.append(mean(column))
+        best.append(min(column))
+        worst.append(max(column))
+    return means, best, worst

@@ -1,0 +1,69 @@
+"""Load distribution metrics (paper §2, §7).
+
+The paper's fifth criterion: "the distribution of load over nodes, in
+terms of messages received and messages forwarded. Ideally, load should
+be evenly distributed among participating nodes." Both protocols claim
+uniform load ("a node receiving a message forwards it to F others, just
+like any other node"); :class:`LoadStats` quantifies that claim for the
+load-distribution bench, and exposes the classic Jain fairness index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.metrics.aggregate import mean, percentile, stddev
+
+__all__ = ["LoadStats", "jain_fairness"]
+
+
+def jain_fairness(samples: Sequence[float]) -> float:
+    """Jain's fairness index: 1.0 = perfectly even, 1/n = one node loaded.
+
+    >>> jain_fairness([5, 5, 5, 5])
+    1.0
+    """
+    if not samples:
+        return 1.0
+    total = sum(samples)
+    squares = sum(x * x for x in samples)
+    if squares == 0:
+        return 1.0
+    return (total * total) / (len(samples) * squares)
+
+
+@dataclass(frozen=True)
+class LoadStats:
+    """Distribution summary of a per-node load counter."""
+
+    nodes: int
+    mean_load: float
+    stddev_load: float
+    min_load: float
+    max_load: float
+    p99_load: float
+    fairness: float
+
+    @classmethod
+    def from_counters(
+        cls, counters: Mapping[int, int], population: Sequence[int]
+    ) -> "LoadStats":
+        """Build from a sparse counter map over the given population.
+
+        Nodes absent from ``counters`` count as zero load — a node that
+        never forwarded anything still participates in the fairness
+        denominator.
+        """
+        loads = [float(counters.get(node_id, 0)) for node_id in population]
+        if not loads:
+            return cls(0, 0.0, 0.0, 0.0, 0.0, 0.0, 1.0)
+        return cls(
+            nodes=len(loads),
+            mean_load=mean(loads),
+            stddev_load=stddev(loads),
+            min_load=min(loads),
+            max_load=max(loads),
+            p99_load=percentile(loads, 99),
+            fairness=jain_fairness(loads),
+        )

@@ -1,0 +1,94 @@
+"""Analytic predictions for push epidemics.
+
+The paper observes that RANDCAST's miss ratio "appears to be dropping
+exponentially as a function of the fanout" and cites Kermarrec et
+al. [12] for the underlying analysis. The classic mean-field model
+makes that quantitative: when every informed node forwards to F
+uniformly random nodes, the final informed fraction π of a large
+network solves the fixed-point equation
+
+    π = 1 − exp(−F·π)
+
+(the giant-component / SIR final-size equation). The per-node miss
+probability is 1 − π, which for F ≳ 3 behaves like exp(−F) — the
+exponential decay of Fig. 6(a).
+
+These helpers are used by the theory-vs-measurement bench and tests to
+check that the simulator's RANDCAST is statistically faithful, not just
+plausible.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.common.errors import ConfigurationError
+
+__all__ = [
+    "epidemic_final_fraction",
+    "expected_exponential_hops",
+    "randcast_expected_miss_ratio",
+]
+
+
+def epidemic_final_fraction(
+    fanout: float, tolerance: float = 1e-12, max_iterations: int = 10_000
+) -> float:
+    """The final informed fraction π solving ``π = 1 − exp(−F·π)``.
+
+    For F ≤ 1 the only stable solution is 0 (no epidemic outbreak);
+    for F > 1 the nontrivial fixed point is found by iteration from 1.
+
+    >>> epidemic_final_fraction(1.0)
+    0.0
+    >>> round(epidemic_final_fraction(2.0), 4)
+    0.7968
+    >>> epidemic_final_fraction(10.0) > 0.9999
+    True
+    """
+    if fanout < 0:
+        raise ConfigurationError(f"fanout must be >= 0, got {fanout}")
+    if fanout <= 1.0:
+        return 0.0
+    pi = 1.0
+    for _ in range(max_iterations):
+        updated = 1.0 - math.exp(-fanout * pi)
+        if abs(updated - pi) < tolerance:
+            return updated
+        pi = updated
+    return pi
+
+
+def randcast_expected_miss_ratio(fanout: float) -> float:
+    """Mean-field per-node miss probability for RANDCAST at fanout F.
+
+    This is 1 − π of :func:`epidemic_final_fraction`: the probability a
+    uniformly random node never receives the message, in the large-N
+    limit with uniform random target selection. The simulator deviates
+    from it only through finite-N effects and CYCLON's approximation of
+    uniform sampling.
+
+    >>> randcast_expected_miss_ratio(1.0)
+    1.0
+    >>> round(randcast_expected_miss_ratio(5.0), 4)
+    0.0070
+    """
+    return 1.0 - epidemic_final_fraction(fanout)
+
+
+def expected_exponential_hops(population: int, fanout: int) -> float:
+    """Hops for the exponential phase to cover ``population`` nodes.
+
+    A message reaches ≈ F^h nodes after h hops while the network is far
+    from saturation, so covering N nodes needs about ``log_F(N)`` hops;
+    the true dissemination takes a few more to mop up the tail. Used as
+    a sanity bound, not an exact prediction.
+
+    >>> expected_exponential_hops(10_000, 10)
+    4.0
+    """
+    if population < 1:
+        raise ConfigurationError(f"population must be >= 1: {population}")
+    if fanout < 2:
+        raise ConfigurationError(f"fanout must be >= 2, got {fanout}")
+    return math.log(population) / math.log(fanout)

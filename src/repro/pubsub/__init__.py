@@ -1,0 +1,16 @@
+"""Topic-based publish/subscribe over dissemination overlays (paper §8).
+
+"Each topic forms its own, separate dissemination overlay. Subscribers
+join the overlay(s) of the topics of their interest. Finally, events
+are multicast by disseminating them in the appropriate dissemination
+overlay."
+
+:class:`~repro.pubsub.system.PubSubSystem` manages one gossip overlay
+per topic, maps application-level subscriber names onto per-topic
+simulation nodes, and publishes events through either RANDCAST or
+RINGCAST.
+"""
+
+from repro.pubsub.system import DeliveryReport, PubSubSystem
+
+__all__ = ["DeliveryReport", "PubSubSystem"]

@@ -1,0 +1,252 @@
+"""Per-topic dissemination overlays and event delivery.
+
+Subscribers are application-level string names; each topic owns an
+independent gossip network whose nodes correspond 1:1 to that topic's
+subscribers. Subscribing builds the node and joins it to the topic
+overlay (with a random alive contact, like any churn joiner);
+unsubscribing kills it. Publishing freezes the topic overlay and runs a
+push dissemination from the publisher's node.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import RngRegistry
+from repro.dissemination.message import Message
+from repro.dissemination.policies import policy_for_snapshot
+from repro.dissemination.executor import disseminate
+from repro.experiments.builder import (
+    Population,
+    freeze_overlay,
+    make_node_factory,
+)
+from repro.experiments.config import ExperimentConfig, OverlaySpec
+from repro.membership.bootstrap import join_with_contact
+from repro.sim.cycle import CycleDriver
+from repro.sim.network import Network
+
+__all__ = ["DeliveryReport", "PubSubSystem"]
+
+
+@dataclass(frozen=True)
+class DeliveryReport:
+    """Outcome of publishing one event.
+
+    Attributes:
+        message: The published event.
+        topic: Topic it was published on.
+        publisher: Subscriber name that published.
+        delivered_to: Subscriber names that received the event.
+        missed: Subscriber names that did not.
+        messages_sent: Total point-to-point sends used.
+        hops: Dissemination hops used.
+    """
+
+    message: Message
+    topic: str
+    publisher: str
+    delivered_to: Tuple[str, ...]
+    missed: Tuple[str, ...]
+    messages_sent: int
+    hops: int
+
+    @property
+    def delivery_ratio(self) -> float:
+        """Fraction of subscribers reached (1.0 = complete)."""
+        total = len(self.delivered_to) + len(self.missed)
+        return len(self.delivered_to) / total if total else 1.0
+
+
+class _TopicOverlay:
+    """One topic's private gossip network."""
+
+    def __init__(
+        self,
+        topic: str,
+        protocol: str,
+        config: ExperimentConfig,
+        registry: RngRegistry,
+    ) -> None:
+        self.topic = topic
+        self.spec = OverlaySpec(kind=protocol)
+        self.config = config
+        self.registry = registry
+        self.network = Network(registry.stream("network"))
+        self.node_factory = make_node_factory(
+            config, self.spec, domain_rng=registry.stream("domains")
+        )
+        self.driver = CycleDriver(
+            self.network, registry.stream("gossip")
+        )
+        self.population = Population(
+            network=self.network,
+            driver=self.driver,
+            node_factory=self.node_factory,
+            registry=registry,
+            spec=self.spec,
+            config=config,
+        )
+        self.node_of: Dict[str, int] = {}
+        self.subscriber_of: Dict[int, str] = {}
+
+    def subscribe(self, subscriber: str, rng: random.Random) -> None:
+        node = self.node_factory(self.network)
+        join_with_contact(node, self.network, rng)
+        self.node_of[subscriber] = node.node_id
+        self.subscriber_of[node.node_id] = subscriber
+
+    def unsubscribe(self, subscriber: str) -> None:
+        node_id = self.node_of.pop(subscriber)
+        del self.subscriber_of[node_id]
+        self.network.kill_node(node_id)
+
+    def subscribers(self) -> Set[str]:
+        return set(self.node_of)
+
+
+class PubSubSystem:
+    """Topic-based publish/subscribe built on the dissemination stack.
+
+    >>> system = PubSubSystem(seed=3)
+    >>> system.create_topic("alerts", protocol="ringcast")
+    >>> for name in [f"client-{i}" for i in range(40)]:
+    ...     system.subscribe("alerts", name)
+    >>> system.stabilize("alerts", cycles=60)
+    >>> report = system.publish("alerts", payload="patch-now",
+    ...                         publisher="client-0", fanout=3)
+    >>> report.delivery_ratio
+    1.0
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        view_size: int = 20,
+        shuffle_length: int = 5,
+        vicinity_gossip_length: int = 10,
+    ) -> None:
+        self._registry = RngRegistry(seed)
+        self._config = ExperimentConfig(
+            num_nodes=3,  # per-topic populations grow by subscription
+            view_size=view_size,
+            shuffle_length=shuffle_length,
+            vicinity_gossip_length=vicinity_gossip_length,
+            warmup_cycles=1,
+            seed=seed,
+        )
+        self._topics: Dict[str, _TopicOverlay] = {}
+
+    # ------------------------------------------------------------------
+    # topic management
+    # ------------------------------------------------------------------
+
+    def create_topic(self, topic: str, protocol: str = "ringcast") -> None:
+        """Register a topic with its own dissemination overlay."""
+        if topic in self._topics:
+            raise ConfigurationError(f"topic {topic!r} already exists")
+        self._topics[topic] = _TopicOverlay(
+            topic,
+            protocol,
+            self._config,
+            self._registry.spawn(f"topic/{topic}"),
+        )
+
+    def topics(self) -> List[str]:
+        """All registered topic names."""
+        return sorted(self._topics)
+
+    def subscribers(self, topic: str) -> Set[str]:
+        """Current subscriber names of ``topic``."""
+        return self._overlay(topic).subscribers()
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+
+    def subscribe(self, topic: str, subscriber: str) -> None:
+        """Join ``subscriber`` to the topic's overlay."""
+        overlay = self._overlay(topic)
+        if subscriber in overlay.node_of:
+            raise ConfigurationError(
+                f"{subscriber!r} already subscribes to {topic!r}"
+            )
+        overlay.subscribe(
+            subscriber, overlay.registry.stream("joins")
+        )
+
+    def unsubscribe(self, topic: str, subscriber: str) -> None:
+        """Remove ``subscriber`` from the topic's overlay."""
+        overlay = self._overlay(topic)
+        if subscriber not in overlay.node_of:
+            raise ConfigurationError(
+                f"{subscriber!r} does not subscribe to {topic!r}"
+            )
+        overlay.unsubscribe(subscriber)
+
+    def stabilize(self, topic: str, cycles: int = 50) -> None:
+        """Run gossip cycles so the topic overlay self-organises."""
+        self._overlay(topic).driver.run(cycles)
+
+    # ------------------------------------------------------------------
+    # publishing
+    # ------------------------------------------------------------------
+
+    def publish(
+        self,
+        topic: str,
+        payload,
+        publisher: str,
+        fanout: int = 3,
+    ) -> DeliveryReport:
+        """Disseminate an event to the topic's subscribers."""
+        overlay = self._overlay(topic)
+        if publisher not in overlay.node_of:
+            raise ConfigurationError(
+                f"publisher {publisher!r} must subscribe to {topic!r} first"
+            )
+        snapshot = freeze_overlay(overlay.population)
+        origin = overlay.node_of[publisher]
+        message = Message(origin=origin, payload=payload, topic=topic)
+        result = disseminate(
+            snapshot,
+            policy_for_snapshot(snapshot),
+            fanout,
+            origin,
+            overlay.registry.stream("publish"),
+        )
+        missed_ids = set(result.missed_ids)
+        delivered = tuple(
+            sorted(
+                subscriber
+                for subscriber, node_id in overlay.node_of.items()
+                if node_id not in missed_ids
+            )
+        )
+        missed = tuple(
+            sorted(
+                subscriber
+                for subscriber, node_id in overlay.node_of.items()
+                if node_id in missed_ids
+            )
+        )
+        return DeliveryReport(
+            message=message,
+            topic=topic,
+            publisher=publisher,
+            delivered_to=delivered,
+            missed=missed,
+            messages_sent=result.total_messages,
+            hops=result.hops,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _overlay(self, topic: str) -> _TopicOverlay:
+        try:
+            return self._topics[topic]
+        except KeyError:
+            raise ConfigurationError(f"unknown topic {topic!r}") from None

@@ -1,0 +1,56 @@
+"""Virtual simulation time.
+
+The clock is advanced only by the owning engine or driver; protocol code
+reads it but never sets it. Time is a float in abstract units (the
+cycle driver advances it by one unit per cycle; the event engine by
+event timestamps).
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import SimulationError
+
+__all__ = ["SimClock"]
+
+
+class SimClock:
+    """Monotonically non-decreasing virtual clock.
+
+    >>> clock = SimClock()
+    >>> clock.now
+    0.0
+    >>> clock.advance_to(2.5)
+    >>> clock.now
+    2.5
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    def advance_to(self, t: float) -> None:
+        """Move the clock forward to time ``t``.
+
+        Raises :class:`SimulationError` on any attempt to move backwards,
+        which would indicate a scheduling bug.
+        """
+        if t < self._now:
+            raise SimulationError(
+                f"clock cannot move backwards: now={self._now}, requested={t}"
+            )
+        self._now = t
+
+    def tick(self, delta: float = 1.0) -> None:
+        """Advance the clock by ``delta`` time units (``delta`` >= 0)."""
+        if delta < 0:
+            raise SimulationError(f"negative tick: {delta}")
+        self._now += delta
+
+    def __repr__(self) -> str:
+        return f"SimClock(now={self._now})"

@@ -1,0 +1,84 @@
+"""Cycle-driven gossip execution (PeerSim's cycle-based model).
+
+Each cycle:
+
+1. an optional churn adapter mutates the population (kills and joins),
+2. every alive node executes each of its protocols once, with the node
+   order freshly shuffled — approximating the paper's independent,
+   non-synchronized per-node timers,
+3. the network's cycle counter advances.
+
+Protocols on one node run in their registration order (CYCLON before
+VICINITY, matching the layered design where VICINITY consumes CYCLON's
+current view as candidates).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional
+
+from repro.sim.network import Network
+
+__all__ = ["CycleDriver"]
+
+ChurnAdapter = Callable[[Network, random.Random], None]
+CycleHook = Callable[[Network, int], None]
+
+
+class CycleDriver:
+    """Runs synchronous gossip cycles over a :class:`Network`."""
+
+    def __init__(
+        self,
+        network: Network,
+        rng: random.Random,
+        churn: Optional[ChurnAdapter] = None,
+    ) -> None:
+        self.network = network
+        self.rng = rng
+        self.churn = churn
+        self._hooks: List[CycleHook] = []
+
+    def add_hook(self, hook: CycleHook) -> None:
+        """Register a callback invoked as ``hook(network, cycle)`` after
+        each completed cycle (metrics collection, convergence probes)."""
+        self._hooks.append(hook)
+
+    def run_cycle(self) -> None:
+        """Execute one full gossip cycle."""
+        network = self.network
+        rng = self.rng
+        if self.churn is not None:
+            self.churn(network, rng)
+        order = network.alive_ids()
+        rng.shuffle(order)
+        for node_id in order:
+            # A node scheduled earlier this cycle may have been killed by
+            # a peer's exchange side effects; skip it.
+            if not network.is_alive(node_id):
+                continue
+            node = network.node(node_id)
+            for protocol in node.protocols.values():
+                protocol.execute_cycle(node, network, rng)
+        network.current_cycle += 1
+        for hook in self._hooks:
+            hook(network, network.current_cycle)
+
+    def run(self, cycles: int) -> None:
+        """Execute ``cycles`` consecutive gossip cycles."""
+        for _ in range(cycles):
+            self.run_cycle()
+
+    def run_until(
+        self, predicate: Callable[[Network], bool], max_cycles: int
+    ) -> int:
+        """Run until ``predicate(network)`` holds or ``max_cycles`` elapse.
+
+        Returns the number of cycles executed.
+        """
+        for executed in range(max_cycles):
+            if predicate(self.network):
+                return executed
+            self.run_cycle()
+        return max_cycles

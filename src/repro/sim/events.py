@@ -1,0 +1,106 @@
+"""Future event list for the event-driven engine.
+
+Events are ordered by ``(time, sequence)``: the sequence number breaks
+ties in insertion order, which keeps runs deterministic even when many
+events share a timestamp (common with zero-latency links).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+__all__ = ["Event", "EventQueue"]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Attributes:
+        time: Virtual time at which the event fires.
+        seq: Tie-breaking insertion sequence number.
+        action: Zero-argument callable executed when the event fires.
+        cancelled: Cancelled events stay in the heap but are skipped.
+    """
+
+    time: float
+    seq: int
+    action: Callable[[], Any] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it when popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A binary-heap future event list with lazy cancellation.
+
+    >>> q = EventQueue()
+    >>> fired = []
+    >>> _ = q.push(2.0, lambda: fired.append("late"))
+    >>> _ = q.push(1.0, lambda: fired.append("early"))
+    >>> q.pop().action()
+    >>> fired
+    ['early']
+    """
+
+    __slots__ = ("_heap", "_counter", "_live")
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def push(self, time: float, action: Callable[[], Any]) -> Event:
+        """Schedule ``action`` at ``time`` and return the event handle."""
+        event = Event(time=float(time), seq=next(self._counter), action=action)
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest live event, or ``None`` if empty.
+
+        Cancelled events are discarded transparently.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the earliest live event, or ``None`` if empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously pushed event (idempotent)."""
+        if not event.cancelled:
+            event.cancel()
+            self._live -= 1
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def drain(self) -> Tuple[Event, ...]:
+        """Pop every live event in order (mainly for tests)."""
+        events = []
+        while True:
+            event = self.pop()
+            if event is None:
+                break
+            events.append(event)
+        return tuple(events)

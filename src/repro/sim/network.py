@@ -1,0 +1,170 @@
+"""The simulated node population.
+
+The :class:`Network` owns every node ever created (dead ones are kept
+for lifetime statistics), assigns monotonically increasing node IDs,
+creates random ring profiles, and centralises gossip-traffic counters.
+
+It deliberately exposes *no* global view to protocol code beyond what a
+real deployment would have: protocols reach other nodes only through
+node IDs they obtained from view exchanges. The global accessors
+(:meth:`alive_ids`, :meth:`sorted_ring`, …) exist for the evaluation
+layer — computing ground-truth rings, picking dissemination origins,
+injecting failures.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from repro.common.errors import ConfigurationError, SimulationError
+from repro.sim.node import RING_ID_SPACE, Node, NodeProfile
+
+__all__ = ["Network"]
+
+
+class Network:
+    """Registry of simulated nodes with liveness and traffic accounting."""
+
+    def __init__(self, rng: random.Random) -> None:
+        self._rng = rng
+        self._nodes: Dict[int, Node] = {}
+        self._alive: Dict[int, Node] = {}
+        self._next_id = 0
+        self._used_ring_ids: set = set()
+        self.current_cycle = 0
+        self.gossip_messages = 0
+        self.gossip_entries_shipped = 0
+        self.failed_contacts = 0
+
+    # ------------------------------------------------------------------
+    # population management
+    # ------------------------------------------------------------------
+
+    def create_node(
+        self,
+        num_rings: int = 1,
+        domain: Optional[str] = None,
+        join_cycle: Optional[int] = None,
+    ) -> Node:
+        """Create, register and return a fresh alive node.
+
+        Ring IDs are drawn uniformly at random without replacement so
+        successor/predecessor relations are always unambiguous.
+        """
+        if num_rings < 1:
+            raise ConfigurationError(f"num_rings must be >= 1, got {num_rings}")
+        ring_ids = tuple(self._fresh_ring_id() for _ in range(num_rings))
+        profile = NodeProfile(ring_ids=ring_ids, domain=domain)
+        node = Node(
+            node_id=self._next_id,
+            profile=profile,
+            join_cycle=self.current_cycle if join_cycle is None else join_cycle,
+        )
+        self._next_id += 1
+        self._nodes[node.node_id] = node
+        self._alive[node.node_id] = node
+        return node
+
+    def _fresh_ring_id(self) -> int:
+        while True:
+            rid = self._rng.randrange(RING_ID_SPACE)
+            if rid not in self._used_ring_ids:
+                self._used_ring_ids.add(rid)
+                return rid
+
+    def populate(self, count: int, num_rings: int = 1) -> List[Node]:
+        """Create ``count`` nodes and return them."""
+        return [self.create_node(num_rings=num_rings) for _ in range(count)]
+
+    def kill_node(self, node_id: int) -> Node:
+        """Mark a node dead. It stays registered for lifetime statistics."""
+        node = self.node(node_id)
+        if not node.alive:
+            raise SimulationError(f"node {node_id} is already dead")
+        node.kill(self.current_cycle)
+        del self._alive[node_id]
+        return node
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+
+    def node(self, node_id: int) -> Node:
+        """Return the node registered under ``node_id`` (alive or dead)."""
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise SimulationError(f"unknown node id {node_id}") from None
+
+    def is_alive(self, node_id: int) -> bool:
+        """``True`` iff ``node_id`` exists and is alive."""
+        return node_id in self._alive
+
+    def alive_ids(self) -> List[int]:
+        """IDs of all alive nodes (insertion order)."""
+        return list(self._alive)
+
+    def alive_nodes(self) -> List[Node]:
+        """All alive nodes (insertion order)."""
+        return list(self._alive.values())
+
+    def all_nodes(self) -> List[Node]:
+        """Every node ever created, dead or alive."""
+        return list(self._nodes.values())
+
+    def random_alive_id(
+        self, rng: random.Random, exclude: Optional[int] = None
+    ) -> int:
+        """A uniformly random alive node ID, optionally excluding one node."""
+        ids = self.alive_ids()
+        if exclude is not None:
+            ids = [i for i in ids if i != exclude]
+        if not ids:
+            raise SimulationError("no alive nodes to sample from")
+        return rng.choice(ids)
+
+    def sorted_ring(self, ring: int = 0) -> List[int]:
+        """Alive node IDs sorted by their ring-``ring`` sequence ID.
+
+        This is the ground-truth ring the VICINITY layer should converge
+        to; only the evaluation layer uses it.
+        """
+        alive = self._alive.values()
+        return [
+            n.node_id
+            for n in sorted(alive, key=lambda n: n.profile.ring_ids[ring])
+        ]
+
+    # ------------------------------------------------------------------
+    # sizes
+    # ------------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Number of alive nodes."""
+        return len(self._alive)
+
+    @property
+    def total_created(self) -> int:
+        """Number of nodes ever created (alive + dead)."""
+        return len(self._nodes)
+
+    # ------------------------------------------------------------------
+    # traffic accounting
+    # ------------------------------------------------------------------
+
+    def record_gossip(self, entries: int) -> None:
+        """Charge one gossip message carrying ``entries`` view entries."""
+        self.gossip_messages += 1
+        self.gossip_entries_shipped += entries
+
+    def record_failed_contact(self) -> None:
+        """Charge one attempted contact to a dead node."""
+        self.failed_contacts += 1
+
+    def __repr__(self) -> str:
+        return (
+            f"Network(alive={self.size}, total={self.total_created}, "
+            f"cycle={self.current_cycle})"
+        )

@@ -1,0 +1,124 @@
+"""Simulated nodes and their immutable profiles.
+
+A :class:`Node` is a container for one or more gossip protocol
+instances (CYCLON, VICINITY, …) plus bookkeeping the evaluation needs:
+liveness, the cycle the node joined at (for lifetime analysis under
+churn), and per-node message counters.
+
+A :class:`NodeProfile` carries the identity attributes other protocols
+select on — the random ring sequence ID(s) used by VICINITY to build
+the RINGCAST ring, and an optional DNS-style domain for the
+domain-proximity extension. Profiles travel inside view descriptors
+exactly as they would on the wire in a real deployment, so no protocol
+ever "cheats" by looking up another node's profile centrally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.common.errors import ConfigurationError, SimulationError
+
+__all__ = ["Node", "NodeProfile"]
+
+RING_ID_SPACE = 1 << 32
+"""Size of the ring sequence-ID space (IDs are uniform in [0, 2^32))."""
+
+
+@dataclass(frozen=True)
+class NodeProfile:
+    """Immutable identity attributes of a node.
+
+    Attributes:
+        ring_ids: One random sequence ID per ring the node participates
+            in. Plain RINGCAST uses a single ring (``len == 1``); the
+            multi-ring extension assigns several independent IDs.
+        domain: Optional reversed-DNS key (e.g. ``"ch.ethz.inf"``) used
+            by the domain-proximity ring extension. ``None`` for the
+            paper's base protocols.
+    """
+
+    ring_ids: Tuple[int, ...]
+    domain: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.ring_ids:
+            raise ConfigurationError("a profile needs at least one ring ID")
+        for rid in self.ring_ids:
+            if not 0 <= rid < RING_ID_SPACE:
+                raise ConfigurationError(
+                    f"ring ID {rid} outside [0, {RING_ID_SPACE})"
+                )
+
+    @property
+    def ring_id(self) -> int:
+        """The node's primary (ring-0) sequence ID."""
+        return self.ring_ids[0]
+
+    def domain_key(self) -> Tuple[str, int]:
+        """Sort key for the domain-proximity ring: (reversed domain, ID)."""
+        return (self.domain or "", self.ring_id)
+
+
+class Node:
+    """A simulated peer hosting a stack of gossip protocols.
+
+    Protocol instances are registered by name (``"cyclon"``,
+    ``"vicinity"``, …) and stepped by the cycle driver each cycle.
+    """
+
+    __slots__ = (
+        "node_id",
+        "profile",
+        "alive",
+        "join_cycle",
+        "death_cycle",
+        "protocols",
+        "messages_sent",
+        "messages_received",
+    )
+
+    def __init__(
+        self,
+        node_id: int,
+        profile: NodeProfile,
+        join_cycle: int = 0,
+    ) -> None:
+        self.node_id = node_id
+        self.profile = profile
+        self.alive = True
+        self.join_cycle = join_cycle
+        self.death_cycle: Optional[int] = None
+        self.protocols: Dict[str, object] = {}
+        self.messages_sent = 0
+        self.messages_received = 0
+
+    def attach(self, name: str, protocol: object) -> None:
+        """Register a protocol instance under ``name`` (unique per node)."""
+        if name in self.protocols:
+            raise SimulationError(f"node {self.node_id} already runs {name!r}")
+        self.protocols[name] = protocol
+
+    def protocol(self, name: str) -> object:
+        """Return the protocol registered under ``name``."""
+        try:
+            return self.protocols[name]
+        except KeyError:
+            raise SimulationError(
+                f"node {self.node_id} does not run {name!r}"
+            ) from None
+
+    def lifetime(self, current_cycle: int) -> int:
+        """Number of cycles since this node joined the network."""
+        return current_cycle - self.join_cycle
+
+    def kill(self, cycle: int) -> None:
+        """Mark the node dead as of ``cycle`` (idempotent)."""
+        if self.alive:
+            self.alive = False
+            self.death_cycle = cycle
+
+    def __repr__(self) -> str:
+        state = "alive" if self.alive else "dead"
+        return f"Node({self.node_id}, {state}, ring_id={self.profile.ring_id})"

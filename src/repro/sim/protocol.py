@@ -1,0 +1,49 @@
+"""Abstract interface shared by all periodic gossip protocols.
+
+The cycle driver calls :meth:`GossipProtocol.execute_cycle` once per
+cycle on every alive node, in a freshly shuffled order (nodes have
+"independent, non-synchronized timers" in the paper; randomizing the
+per-cycle order is the standard cycle-driven approximation, identical
+to PeerSim's).
+
+Exchanges are modelled as synchronous request/response pairs: the
+initiator builds a request, the partner answers immediately, and both
+apply their merge rules. Message and traffic accounting goes through
+the :class:`repro.sim.network.Network` so all protocols are charged
+uniformly.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.network import Network
+    from repro.sim.node import Node
+
+__all__ = ["GossipProtocol"]
+
+
+class GossipProtocol(ABC):
+    """One periodic gossip protocol instance, owned by a single node."""
+
+    #: Name under which instances register on their node.
+    name: str = "gossip"
+
+    @abstractmethod
+    def execute_cycle(
+        self, node: "Node", network: "Network", rng: random.Random
+    ) -> None:
+        """Perform this node's gossip exchange for the current cycle.
+
+        Implementations select a partner, perform the request/response
+        view exchange synchronously, and update both views. Dead
+        partners must be handled gracefully (descriptor dropped, next
+        candidate tried) — there are no retransmissions.
+        """
+
+    @abstractmethod
+    def neighbor_ids(self) -> tuple:
+        """Current outgoing links (node IDs) held in this protocol's view."""

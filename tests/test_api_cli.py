@@ -1,0 +1,181 @@
+"""Tests for the high-level API facade and the CLI."""
+
+import pytest
+
+from repro.api import build_overlay, disseminate, run_experiment
+from repro.cli import build_parser, main
+from repro.common.errors import ConfigurationError
+from repro.experiments.scenarios import ChurnOutcome, FanoutSweep
+
+
+class TestBuildOverlay:
+    def test_builds_each_protocol(self):
+        for protocol in ("ringcast", "randcast"):
+            snapshot = build_overlay(
+                num_nodes=80, protocol=protocol, seed=2, warmup_cycles=40
+            )
+            assert snapshot.kind == protocol
+            assert snapshot.population == 80
+
+    def test_deterministic(self):
+        a = build_overlay(num_nodes=60, seed=3, warmup_cycles=30)
+        b = build_overlay(num_nodes=60, seed=3, warmup_cycles=30)
+        assert a.rlinks == b.rlinks
+
+    def test_rejects_unknown_protocol(self):
+        with pytest.raises(ConfigurationError):
+            build_overlay(num_nodes=60, protocol="smoke")
+
+
+class TestDisseminate:
+    @pytest.fixture(scope="class")
+    def snapshot(self):
+        return build_overlay(num_nodes=100, seed=4, warmup_cycles=50)
+
+    def test_default_policy_from_kind(self, snapshot):
+        result = disseminate(snapshot, fanout=3, seed=1)
+        assert result.complete
+
+    def test_random_origin_when_unspecified(self, snapshot):
+        a = disseminate(snapshot, fanout=2, seed=1)
+        b = disseminate(snapshot, fanout=2, seed=2)
+        assert a.origin != b.origin or a.per_hop_new != b.per_hop_new
+
+    def test_accepts_rng_instance(self, snapshot):
+        import random
+
+        result = disseminate(snapshot, fanout=2, seed=random.Random(5))
+        assert result.complete
+
+    def test_explicit_origin(self, snapshot):
+        result = disseminate(snapshot, fanout=2, origin=7, seed=1)
+        assert result.origin == 7
+
+
+class TestRunExperiment:
+    def test_static_returns_sweep(self):
+        sweep = run_experiment(
+            scenario="static",
+            protocol="ringcast",
+            scale="tiny",
+            seed=5,
+            num_messages=3,
+            fanouts=(2, 3),
+            warmup_cycles=40,
+            num_nodes=100,
+        )
+        assert isinstance(sweep, FanoutSweep)
+        assert sweep.fanouts() == (2, 3)
+
+    def test_catastrophic_scenario(self):
+        sweep = run_experiment(
+            scenario="catastrophic",
+            protocol="ringcast",
+            scale="tiny",
+            kill_fraction=0.05,
+            num_messages=3,
+            fanouts=(3,),
+            warmup_cycles=40,
+            num_nodes=100,
+        )
+        assert sweep.runs[3][0].population == 95
+
+    def test_churn_returns_outcome(self):
+        outcome = run_experiment(
+            scenario="churn",
+            protocol="randcast",
+            scale="tiny",
+            num_messages=2,
+            fanouts=(3,),
+            warmup_cycles=30,
+            num_nodes=80,
+            churn_rate=0.02,
+            churn_max_cycles=150,
+            churn_networks=1,
+        )
+        assert isinstance(outcome, ChurnOutcome)
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_experiment(scenario="apocalypse")
+
+
+class TestCli:
+    def test_parser_has_all_figures(self):
+        parser = build_parser()
+        text = parser.format_help()
+        for name in ("fig6", "fig9", "fig13", "all", "demo"):
+            assert name in text
+
+    def test_fig6_runs_at_tiny_scale(self, capsys, monkeypatch):
+        from repro.experiments import figures
+
+        figures.clear_caches()
+        code = main(["fig6", "--scale", "tiny", "--seed", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "[fig6]" in out
+        assert "ringcast miss%" in out
+
+    def test_fig8_reuses_fig6_cache(self, capsys):
+        # The static sweep is already cached from the previous test
+        # (same config): fig8 must render instantly from it.
+        import time
+
+        started = time.perf_counter()
+        main(["fig8", "--scale", "tiny", "--seed", "3"])
+        elapsed = time.perf_counter() - started
+        assert elapsed < 2.0
+        assert "[fig8]" in capsys.readouterr().out
+
+    def test_out_directory_written(self, capsys, tmp_path):
+        main(
+            [
+                "fig6",
+                "--scale",
+                "tiny",
+                "--seed",
+                "3",
+                "--out",
+                str(tmp_path),
+            ]
+        )
+        capsys.readouterr()
+        assert (tmp_path / "fig6.txt").exists()
+        assert (tmp_path / "fig6.dat").exists()
+
+    def test_fig7_reuses_static_cache(self, capsys):
+        import time
+
+        started = time.perf_counter()
+        main(["fig7", "--scale", "tiny", "--seed", "3"])
+        elapsed = time.perf_counter() - started
+        out = capsys.readouterr().out
+        assert elapsed < 3.0
+        assert "fanout 2:" in out
+        assert "not-reached%" in out
+
+    def test_demo_runs(self, capsys):
+        code = main(["demo", "--seed", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "RINGCAST" in out
+        assert "RANDCAST" in out
+
+    def test_theory_subcommand(self, capsys):
+        code = main(["theory"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "pi = 1 - exp(-F*pi)" in out
+        assert out.count("\n") > 20
+
+    def test_convergence_subcommand(self, capsys):
+        code = main(["convergence", "--scale", "tiny", "--seed", "4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "perfect VICINITY ring" in out
+        assert "100" in out
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])

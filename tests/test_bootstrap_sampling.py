@@ -1,0 +1,119 @@
+"""Tests for bootstrap procedures and the peer-sampling abstraction."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.membership.bootstrap import join_with_contact, star_bootstrap
+from repro.membership.cyclon import Cyclon
+from repro.membership.peer_sampling import OraclePeerSampling
+from repro.sim.network import Network
+
+
+def make_nodes(rng, count):
+    network = Network(rng)
+    nodes = network.populate(count)
+    for node in nodes:
+        node.attach("cyclon", Cyclon(node, view_size=5, shuffle_length=3))
+    return network, nodes
+
+
+class TestStarBootstrap:
+    def test_all_spokes_point_at_hub(self, rng):
+        _network, nodes = make_nodes(rng, 10)
+        star_bootstrap(nodes)
+        hub = nodes[0].node_id
+        for node in nodes[1:]:
+            assert node.protocol("cyclon").neighbor_ids() == (hub,)
+
+    def test_hub_starts_empty(self, rng):
+        _network, nodes = make_nodes(rng, 10)
+        star_bootstrap(nodes)
+        assert nodes[0].protocol("cyclon").view.size == 0
+
+    def test_custom_hub(self, rng):
+        _network, nodes = make_nodes(rng, 5)
+        star_bootstrap(nodes, hub=nodes[2])
+        assert nodes[0].protocol("cyclon").neighbor_ids() == (
+            nodes[2].node_id,
+        )
+        assert nodes[2].protocol("cyclon").view.size == 0
+
+    def test_descriptors_are_copies(self, rng):
+        _network, nodes = make_nodes(rng, 3)
+        star_bootstrap(nodes)
+        entry_a = nodes[1].protocol("cyclon").view.get(nodes[0].node_id)
+        entry_b = nodes[2].protocol("cyclon").view.get(nodes[0].node_id)
+        entry_a.age = 99
+        assert entry_b.age == 0
+
+    def test_rejects_empty_population(self):
+        with pytest.raises(ConfigurationError):
+            star_bootstrap([])
+
+
+class TestJoinWithContact:
+    def test_joiner_gets_one_alive_contact(self, rng):
+        network, nodes = make_nodes(rng, 5)
+        joiner = network.create_node()
+        joiner.attach("cyclon", Cyclon(joiner, view_size=5, shuffle_length=3))
+        contact = join_with_contact(joiner, network, rng)
+        assert contact in {n.node_id for n in nodes}
+        assert joiner.protocol("cyclon").neighbor_ids() == (contact,)
+
+    def test_contact_never_self(self, rng):
+        network, _nodes = make_nodes(rng, 5)
+        joiner = network.create_node()
+        joiner.attach("cyclon", Cyclon(joiner, view_size=5, shuffle_length=3))
+        for _ in range(10):
+            view = joiner.protocol("cyclon").view
+            view.clear()
+            contact = join_with_contact(joiner, network, rng)
+            assert contact != joiner.node_id
+
+    def test_only_node_gets_none(self, rng):
+        network = Network(rng)
+        joiner = network.create_node()
+        joiner.attach("cyclon", Cyclon(joiner, view_size=5, shuffle_length=3))
+        assert join_with_contact(joiner, network, rng) is None
+        assert joiner.protocol("cyclon").view.size == 0
+
+    def test_contact_excludes_dead(self, rng):
+        network, nodes = make_nodes(rng, 3)
+        network.kill_node(nodes[0].node_id)
+        network.kill_node(nodes[1].node_id)
+        joiner = network.create_node()
+        joiner.attach("cyclon", Cyclon(joiner, view_size=5, shuffle_length=3))
+        assert join_with_contact(joiner, network, rng) == nodes[2].node_id
+
+
+class TestOraclePeerSampling:
+    def test_uniform_over_alive(self, rng):
+        network, _nodes = make_nodes(rng, 10)
+        oracle = OraclePeerSampling(owner_id=0, network=network)
+        seen = set()
+        for _ in range(100):
+            seen.update(oracle.sample_ids(3, rng))
+        assert seen == set(range(1, 10))
+
+    def test_never_returns_owner(self, rng):
+        network, _nodes = make_nodes(rng, 5)
+        oracle = OraclePeerSampling(owner_id=2, network=network)
+        for _ in range(30):
+            assert 2 not in oracle.sample_ids(4, rng)
+
+    def test_respects_exclude(self, rng):
+        network, _nodes = make_nodes(rng, 5)
+        oracle = OraclePeerSampling(owner_id=0, network=network)
+        for _ in range(30):
+            assert 1 not in oracle.sample_ids(3, rng, exclude=(1,))
+
+    def test_excludes_dead(self, rng):
+        network, _nodes = make_nodes(rng, 5)
+        network.kill_node(3)
+        oracle = OraclePeerSampling(owner_id=0, network=network)
+        assert 3 not in oracle.known_ids()
+
+    def test_sample_larger_than_pool(self, rng):
+        network, _nodes = make_nodes(rng, 4)
+        oracle = OraclePeerSampling(owner_id=0, network=network)
+        assert sorted(oracle.sample_ids(99, rng)) == [1, 2, 3]

@@ -1,0 +1,105 @@
+"""Tests for experiment configuration and scale presets."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.experiments.config import (
+    ExperimentConfig,
+    OverlaySpec,
+    scale_config,
+)
+
+
+class TestOverlaySpec:
+    def test_defaults(self):
+        spec = OverlaySpec()
+        assert spec.kind == "ringcast"
+        assert spec.uses_vicinity
+        assert spec.effective_rings == 1
+
+    def test_randcast_has_no_vicinity(self):
+        assert not OverlaySpec(kind="randcast").uses_vicinity
+
+    def test_multiring_effective_rings(self):
+        assert OverlaySpec(kind="multiring", num_rings=3).effective_rings == 3
+
+    def test_single_ring_kinds_use_one_vicinity(self):
+        assert OverlaySpec(kind="hararycast", num_rings=4).effective_rings == 1
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OverlaySpec(kind="smokesignals")
+
+    def test_odd_harary_connectivity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OverlaySpec(kind="hararycast", harary_connectivity=3)
+
+    def test_zero_rings_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OverlaySpec(num_rings=0)
+
+
+class TestExperimentConfig:
+    def test_paper_defaults(self):
+        config = ExperimentConfig()
+        assert config.view_size == 20
+        assert config.warmup_cycles == 100
+        assert config.churn_rate == 0.002
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("num_nodes", 2),
+            ("view_size", 1),
+            ("warmup_cycles", 0),
+            ("num_messages", 0),
+            ("fanouts", ()),
+            ("fanouts", (0, 1)),
+            ("churn_rate", 1.0),
+        ],
+    )
+    def test_validation(self, field, value):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(**{field: value})
+
+    def test_with_overrides(self):
+        config = ExperimentConfig().with_overrides(num_nodes=999)
+        assert config.num_nodes == 999
+        assert config.view_size == 20
+
+    def test_hashable_for_figure_caching(self):
+        assert hash(ExperimentConfig()) == hash(ExperimentConfig())
+        assert ExperimentConfig() == ExperimentConfig()
+
+
+class TestScaleConfig:
+    def test_known_scales(self):
+        assert scale_config("tiny").num_nodes == 150
+        assert scale_config("small").num_nodes == 500
+        assert scale_config("medium").num_nodes == 2_000
+        assert scale_config("paper").num_nodes == 10_000
+
+    def test_paper_scale_matches_paper(self):
+        config = scale_config("paper")
+        assert config.fanouts == tuple(range(1, 21))
+        assert config.num_messages == 100
+        assert config.churn_rate == 0.002
+
+    def test_seed_override(self):
+        assert scale_config("tiny", seed=7).seed == 7
+
+    def test_env_var_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "medium")
+        assert scale_config().num_nodes == 2_000
+
+    def test_default_without_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert scale_config().scale_name == "small"
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "medium")
+        assert scale_config("tiny").num_nodes == 150
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ConfigurationError):
+            scale_config("galactic")

@@ -1,0 +1,69 @@
+"""Tests for the ring-convergence measurement machinery."""
+
+import pytest
+
+from repro.experiments.convergence import (
+    RingConvergenceProbe,
+    measure_ring_convergence,
+)
+
+
+class TestMeasureRingConvergence:
+    @pytest.fixture(scope="class")
+    def curve(self):
+        return measure_ring_convergence(
+            num_nodes=120, seed=3, max_cycles=80, probe_every=5
+        )
+
+    def test_converges_within_paper_warmup(self, curve):
+        # The paper's claim: 100 cycles are more than enough.
+        assert curve.converged_at is not None
+        assert curve.converged_at <= 80
+
+    def test_agreement_roughly_increases(self, curve):
+        values = [agreement for _cycle, agreement in curve.samples]
+        assert values[-1] == 1.0
+        assert values[0] < 1.0
+        # Allow local dips but require overall upward movement.
+        assert max(values) == 1.0
+
+    def test_samples_on_probe_grid(self, curve):
+        assert all(cycle % 5 == 0 for cycle, _agreement in curve.samples)
+
+    def test_final_agreement_accessor(self, curve):
+        assert curve.final_agreement() == 1.0
+
+    def test_empty_curve_accessor(self):
+        from repro.experiments.convergence import ConvergenceCurve
+
+        empty = ConvergenceCurve(num_nodes=0, samples=(), converged_at=None)
+        assert empty.final_agreement() == 0.0
+
+
+class TestProbe:
+    def test_ignores_nodes_without_vicinity(self, rng):
+        from repro.membership.cyclon import Cyclon
+        from repro.sim.network import Network
+
+        network = Network(rng)
+        node = network.create_node()
+        node.attach("cyclon", Cyclon(node))
+        probe = RingConvergenceProbe(every=1)
+        probe(network, 1)
+        # No vicinity anywhere: agreement of empty dlinks vs 1-node ring.
+        assert probe.samples[0][1] in (0.0, 1.0)
+
+    def test_respects_sampling_interval(self, rng):
+        from repro.sim.network import Network
+
+        network = Network(rng)
+        network.create_node()
+        probe = RingConvergenceProbe(every=10)
+        for cycle in range(1, 21):
+            probe(network, cycle)
+        assert [c for c, _a in probe.samples] == [10, 20]
+
+    def test_converged_at_none_when_never_perfect(self):
+        probe = RingConvergenceProbe()
+        probe.samples = [(5, 0.4), (10, 0.9)]
+        assert probe.converged_at() is None

@@ -1,0 +1,116 @@
+"""Tests for the cycle-driven gossip executor."""
+
+import random
+
+from repro.sim.cycle import CycleDriver
+from repro.sim.network import Network
+from repro.sim.protocol import GossipProtocol
+
+
+class RecordingProtocol(GossipProtocol):
+    """Test double that records the order it was stepped in."""
+
+    name = "recorder"
+
+    def __init__(self, log):
+        self.log = log
+
+    def execute_cycle(self, node, network, rng):
+        self.log.append((network.current_cycle, node.node_id))
+
+    def neighbor_ids(self):
+        return ()
+
+
+def build(rng, count=5):
+    network = Network(rng)
+    log = []
+    for node in network.populate(count):
+        node.attach("recorder", RecordingProtocol(log))
+    return network, log
+
+
+class TestCycleDriver:
+    def test_every_alive_node_steps_once_per_cycle(self, rng):
+        network, log = build(rng)
+        CycleDriver(network, rng).run(3)
+        for cycle in range(3):
+            stepped = sorted(nid for c, nid in log if c == cycle)
+            assert stepped == [0, 1, 2, 3, 4]
+
+    def test_cycle_counter_advances(self, rng):
+        network, _log = build(rng)
+        driver = CycleDriver(network, rng)
+        driver.run(4)
+        assert network.current_cycle == 4
+
+    def test_order_is_shuffled_between_cycles(self, rng):
+        network, log = build(rng, count=30)
+        CycleDriver(network, rng).run(6)
+        orders = [
+            tuple(nid for c, nid in log if c == cycle)
+            for cycle in range(6)
+        ]
+        assert len(set(orders)) > 1
+
+    def test_order_deterministic_for_same_seed(self):
+        first_net, first_log = build(random.Random(5), count=10)
+        CycleDriver(first_net, random.Random(9)).run(3)
+        second_net, second_log = build(random.Random(5), count=10)
+        CycleDriver(second_net, random.Random(9)).run(3)
+        assert first_log == second_log
+
+    def test_dead_nodes_skipped(self, rng):
+        network, log = build(rng)
+        network.kill_node(2)
+        CycleDriver(network, rng).run(1)
+        assert all(nid != 2 for _c, nid in log)
+
+    def test_churn_adapter_called_each_cycle(self, rng):
+        network, _log = build(rng)
+        calls = []
+        driver = CycleDriver(
+            network, rng, churn=lambda net, r: calls.append(net.current_cycle)
+        )
+        driver.run(3)
+        assert calls == [0, 1, 2]
+
+    def test_node_killed_by_churn_not_stepped(self, rng):
+        network, log = build(rng)
+
+        def assassin(net, r):
+            if net.is_alive(0):
+                net.kill_node(0)
+
+        CycleDriver(network, rng, churn=assassin).run(1)
+        assert all(nid != 0 for _c, nid in log)
+
+    def test_hooks_run_after_each_cycle(self, rng):
+        network, _log = build(rng)
+        seen = []
+        driver = CycleDriver(network, rng)
+        driver.add_hook(lambda net, cycle: seen.append(cycle))
+        driver.run(3)
+        assert seen == [1, 2, 3]
+
+    def test_run_until_stops_on_predicate(self, rng):
+        network, _log = build(rng)
+        executed = CycleDriver(network, rng).run_until(
+            lambda net: net.current_cycle >= 2, max_cycles=50
+        )
+        assert executed == 2
+        assert network.current_cycle == 2
+
+    def test_run_until_immediately_true(self, rng):
+        network, _log = build(rng)
+        executed = CycleDriver(network, rng).run_until(
+            lambda net: True, max_cycles=50
+        )
+        assert executed == 0
+
+    def test_run_until_respects_cap(self, rng):
+        network, _log = build(rng)
+        executed = CycleDriver(network, rng).run_until(
+            lambda net: False, max_cycles=4
+        )
+        assert executed == 4

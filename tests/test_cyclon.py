@@ -1,0 +1,234 @@
+"""Tests for the CYCLON membership protocol.
+
+Covers the shuffle mechanics (merge rules, age handling), the emergent
+overlay properties the paper relies on (connectivity, concentrated
+indegrees, randomness), and the join/failure dynamics behind Fig. 13.
+"""
+
+import random
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.graphs.analysis import indegree_map, is_strongly_connected
+from repro.membership.bootstrap import star_bootstrap
+from repro.membership.cyclon import Cyclon
+from repro.membership.views import NodeDescriptor
+from repro.sim.cycle import CycleDriver
+from repro.sim.network import Network
+
+
+def build_cyclon_network(
+    rng, count=60, view_size=8, shuffle_length=4
+):
+    network = Network(rng)
+    nodes = network.populate(count)
+    for node in nodes:
+        node.attach(
+            "cyclon",
+            Cyclon(node, view_size=view_size, shuffle_length=shuffle_length),
+        )
+    star_bootstrap(nodes)
+    return network, nodes
+
+
+def overlay_of(network):
+    return {
+        node.node_id: node.protocol("cyclon").neighbor_ids()
+        for node in network.alive_nodes()
+    }
+
+
+@pytest.fixture
+def warm_network(rng):
+    network, _nodes = build_cyclon_network(rng)
+    CycleDriver(network, rng).run(50)
+    return network
+
+
+class TestConstruction:
+    def test_validates_shuffle_length(self, rng):
+        network = Network(rng)
+        node = network.create_node()
+        with pytest.raises(ConfigurationError):
+            Cyclon(node, view_size=5, shuffle_length=0)
+        with pytest.raises(ConfigurationError):
+            Cyclon(node, view_size=5, shuffle_length=6)
+
+    def test_implements_peer_sampling(self, rng):
+        from repro.membership.peer_sampling import PeerSamplingService
+
+        network = Network(rng)
+        node = network.create_node()
+        assert isinstance(Cyclon(node), PeerSamplingService)
+
+
+class TestInvariants:
+    def test_no_self_loops_after_gossip(self, warm_network):
+        for node_id, links in overlay_of(warm_network).items():
+            assert node_id not in links
+
+    def test_no_duplicate_links(self, warm_network):
+        for links in overlay_of(warm_network).values():
+            assert len(set(links)) == len(links)
+
+    def test_views_fill_to_capacity(self, warm_network):
+        for node in warm_network.alive_nodes():
+            assert node.protocol("cyclon").view.size == 8
+
+    def test_ages_bounded(self, warm_network):
+        # With age-based partner selection an entry's age cannot grow
+        # far past the view size before being gossiped away.
+        for node in warm_network.alive_nodes():
+            for entry in node.protocol("cyclon").view.descriptors():
+                assert entry.age <= 40
+
+    def test_overlay_strongly_connected(self, warm_network):
+        assert is_strongly_connected(overlay_of(warm_network))
+
+
+class TestEmergentRandomness:
+    def test_star_dissolves(self, rng):
+        network, nodes = build_cyclon_network(rng, count=80)
+        hub_indegree_start = 79
+        CycleDriver(network, rng).run(50)
+        indegrees = indegree_map(overlay_of(network))
+        assert indegrees[nodes[0].node_id] < hub_indegree_start / 3
+
+    def test_indegrees_concentrate_around_view_size(self, warm_network):
+        indegrees = indegree_map(overlay_of(warm_network))
+        values = list(indegrees.values())
+        mean = sum(values) / len(values)
+        assert mean == pytest.approx(8, abs=0.5)
+        # No node should be wildly over-represented after convergence.
+        assert max(values) <= 8 * 4
+
+    def test_deterministic_given_seed(self):
+        def run(seed):
+            rng = random.Random(seed)
+            network, _ = build_cyclon_network(rng)
+            CycleDriver(network, rng).run(20)
+            return overlay_of(network)
+
+        assert run(3) == run(3)
+        assert run(3) != run(4)
+
+
+class TestShuffleMechanics:
+    def test_shuffle_exchanges_fresh_self_descriptor(self, rng):
+        network = Network(rng)
+        nodes = network.populate(2)
+        a, b = nodes
+        ca = Cyclon(a, view_size=4, shuffle_length=2)
+        cb = Cyclon(b, view_size=4, shuffle_length=2)
+        a.attach("cyclon", ca)
+        b.attach("cyclon", cb)
+        ca.view.add(NodeDescriptor(b.node_id, 3, b.profile))
+        ca.execute_cycle(a, network, rng)
+        # B learned about A through the shuffle.
+        assert cb.view.contains(a.node_id)
+        assert cb.view.get(a.node_id).age == 0
+
+    def test_partner_entry_recycled(self, rng):
+        network = Network(rng)
+        nodes = network.populate(3)
+        a, b, c = nodes
+        ca = Cyclon(a, view_size=2, shuffle_length=2)
+        cb = Cyclon(b, view_size=2, shuffle_length=2)
+        cc = Cyclon(c, view_size=2, shuffle_length=2)
+        for node, proto in zip(nodes, (ca, cb, cc)):
+            node.attach("cyclon", proto)
+        ca.view.add(NodeDescriptor(b.node_id, 9, b.profile))
+        cb.view.add(NodeDescriptor(c.node_id, 0, c.profile))
+        ca.execute_cycle(a, network, rng)
+        # A swapped its B entry for B's reply (which contained C).
+        assert ca.view.contains(c.node_id)
+
+    def test_gossip_traffic_accounted(self, rng):
+        network, _nodes = build_cyclon_network(rng, count=10)
+        CycleDriver(network, rng).run(1)
+        # Every alive node initiates one shuffle: request + reply each.
+        assert network.gossip_messages == 20
+        assert network.gossip_entries_shipped > 0
+
+    def test_counters(self, warm_network):
+        initiated = sum(
+            node.protocol("cyclon").shuffles_initiated
+            for node in warm_network.alive_nodes()
+        )
+        received = sum(
+            node.protocol("cyclon").shuffles_received
+            for node in warm_network.alive_nodes()
+        )
+        assert initiated == received
+        assert initiated > 0
+
+
+class TestFailureHandling:
+    def test_dead_partner_pruned(self, rng):
+        network, nodes = build_cyclon_network(rng, count=20)
+        CycleDriver(network, rng).run(10)
+        victim = nodes[5].node_id
+        network.kill_node(victim)
+        CycleDriver(network, rng).run(25)
+        for node in network.alive_nodes():
+            assert victim not in node.protocol("cyclon").neighbor_ids()
+
+    def test_empty_view_node_recovers_via_incoming(self, rng):
+        network, nodes = build_cyclon_network(rng, count=20)
+        CycleDriver(network, rng).run(10)
+        loner = nodes[3]
+        loner.protocol("cyclon").view.clear()
+        CycleDriver(network, rng).run(20)
+        assert loner.protocol("cyclon").view.size > 0
+
+    def test_isolated_pair_cannot_gossip(self, rng):
+        network = Network(rng)
+        node = network.create_node()
+        cyclon = Cyclon(node, view_size=4, shuffle_length=2)
+        node.attach("cyclon", cyclon)
+        # Empty view: execute_cycle must be a harmless no-op.
+        cyclon.execute_cycle(node, network, rng)
+        assert cyclon.view.size == 0
+
+
+class TestJoinDynamics:
+    def test_new_node_indegree_grows_about_one_per_cycle(self, rng):
+        network, _nodes = build_cyclon_network(
+            rng, count=60, view_size=8
+        )
+        driver = CycleDriver(network, rng)
+        driver.run(40)
+        joiner = network.create_node()
+        joiner.attach("cyclon", Cyclon(joiner, view_size=8, shuffle_length=4))
+        from repro.membership.bootstrap import join_with_contact
+
+        join_with_contact(joiner, network, rng)
+        indegrees = []
+        for _ in range(8):
+            driver.run(1)
+            indegrees.append(
+                indegree_map(overlay_of(network)).get(joiner.node_id, 0)
+            )
+        # Paper §7.3: "a new node's r-link indegree increases by one in
+        # each of its first few cycles".
+        assert indegrees[-1] >= 4
+        assert indegrees[0] <= 3
+
+
+class TestSampling:
+    def test_sample_ids_from_view(self, warm_network, rng):
+        node = warm_network.alive_nodes()[0]
+        cyclon = node.protocol("cyclon")
+        sample = cyclon.sample_ids(5, rng)
+        assert len(sample) == 5
+        assert set(sample) <= set(cyclon.known_ids())
+
+    def test_sample_respects_exclude(self, warm_network, rng):
+        node = warm_network.alive_nodes()[0]
+        cyclon = node.protocol("cyclon")
+        excluded = cyclon.known_ids()[0]
+        for _ in range(10):
+            assert excluded not in cyclon.sample_ids(
+                5, rng, exclude=(excluded,)
+            )

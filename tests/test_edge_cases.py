@@ -1,0 +1,172 @@
+"""Edge cases across module boundaries: degenerate populations, views
+smaller than protocol parameters, standalone protocol configurations."""
+
+import random
+
+from repro.dissemination.executor import disseminate
+from repro.dissemination.policies import (
+    FloodingPolicy,
+    RandCastPolicy,
+    RingCastPolicy,
+)
+from repro.dissemination.snapshot import OverlaySnapshot
+from repro.membership.cyclon import Cyclon
+from repro.membership.ring_ids import RingProximity
+from repro.membership.vicinity import Vicinity
+from repro.sim.cycle import CycleDriver
+from repro.sim.network import Network
+
+
+class TestDegeneratePopulations:
+    def test_single_node_dissemination(self, rng):
+        snapshot = OverlaySnapshot(
+            kind="ringcast",
+            rlinks={0: ()},
+            dlinks={0: ()},
+            alive_ids=(0,),
+        )
+        result = disseminate(snapshot, RingCastPolicy(), 3, 0, rng)
+        assert result.complete
+        assert result.notified == 1
+        assert result.total_messages == 0
+        assert result.hops == 0
+        assert result.not_reached_series() == [0.0]
+
+    def test_two_node_ring(self, rng):
+        snapshot = OverlaySnapshot(
+            kind="ringcast",
+            rlinks={0: (1,), 1: (0,)},
+            dlinks={0: (1,), 1: (0,)},
+            alive_ids=(0, 1),
+        )
+        result = disseminate(snapshot, RingCastPolicy(), 2, 0, rng)
+        assert result.complete
+        assert result.msgs_virgin == 1
+
+    def test_isolated_origin(self, rng):
+        snapshot = OverlaySnapshot(
+            kind="randcast",
+            rlinks={0: (), 1: (0,)},
+            dlinks={0: (), 1: ()},
+            alive_ids=(0, 1),
+        )
+        result = disseminate(snapshot, RandCastPolicy(), 3, 0, rng)
+        assert not result.complete
+        assert result.notified == 1
+        assert result.missed_ids == (1,)
+
+    def test_all_neighbors_dead(self, rng):
+        snapshot = OverlaySnapshot(
+            kind="randcast",
+            rlinks={0: (1, 2), 1: (), 2: (), 3: (0,)},
+            dlinks={i: () for i in range(4)},
+            alive_ids=(0, 3),
+        )
+        result = disseminate(snapshot, RandCastPolicy(), 2, 0, rng)
+        assert result.msgs_to_dead == 2
+        assert result.notified == 1
+
+
+class TestTinyViews:
+    def test_cyclon_with_view_of_one(self, rng):
+        network = Network(rng)
+        nodes = network.populate(5)
+        for node in nodes:
+            node.attach(
+                "cyclon", Cyclon(node, view_size=1, shuffle_length=1)
+            )
+        from repro.membership.bootstrap import star_bootstrap
+
+        star_bootstrap(nodes)
+        CycleDriver(network, rng).run(20)
+        for node in nodes:
+            view = node.protocol("cyclon").view
+            assert view.size <= 1
+            assert not view.contains(node.node_id)
+
+    def test_vicinity_without_cyclon_feed(self, rng):
+        # Standalone VICINITY (no two-layer feed) still functions; it
+        # just converges more slowly because candidates only arrive
+        # through exchanges.
+        network = Network(rng)
+        nodes = network.populate(12)
+        from repro.membership.views import NodeDescriptor
+
+        for node in nodes:
+            node.attach(
+                "vicinity",
+                Vicinity(
+                    node,
+                    proximity=RingProximity(),
+                    view_size=4,
+                    gossip_length=3,
+                    cyclon=None,
+                ),
+            )
+        # Chain bootstrap: node i knows node i+1.
+        for left, right in zip(nodes, nodes[1:]):
+            left.protocol("vicinity").view.add(
+                NodeDescriptor(right.node_id, 0, right.profile)
+            )
+        CycleDriver(network, rng).run(60)
+        for node in nodes:
+            assert node.protocol("vicinity").view.size > 0
+            succ, pred = node.protocol("vicinity").ring_neighbors()
+            assert succ is not None and pred is not None
+
+    def test_fanout_larger_than_population(self, rng):
+        snapshot = OverlaySnapshot(
+            kind="ringcast",
+            rlinks={0: (1, 2), 1: (0, 2), 2: (0, 1)},
+            dlinks={0: (1, 2), 1: (2, 0), 2: (0, 1)},
+            alive_ids=(0, 1, 2),
+        )
+        result = disseminate(snapshot, RingCastPolicy(), 50, 0, rng)
+        assert result.complete
+        assert result.hops == 1
+
+
+class TestSnapshotOutLinkOrdering:
+    def test_dlinks_take_priority_in_out_links(self):
+        snapshot = OverlaySnapshot(
+            kind="flooding",
+            rlinks={0: (5, 6)},
+            dlinks={0: (6, 7)},
+            alive_ids=(0, 5, 6, 7),
+        )
+        assert snapshot.out_links(0) == (6, 7, 5)
+
+    def test_flooding_uses_both_link_kinds(self, rng):
+        snapshot = OverlaySnapshot(
+            kind="flooding",
+            rlinks={0: (1,), 1: (), 2: ()},
+            dlinks={0: (2,), 1: (), 2: ()},
+            alive_ids=(0, 1, 2),
+        )
+        result = disseminate(snapshot, FloodingPolicy(), 1, 0, rng)
+        assert result.notified == 3
+
+
+class TestStressDeterminism:
+    def test_many_small_disseminations_reproducible(self):
+        snapshot = OverlaySnapshot(
+            kind="randcast",
+            rlinks={
+                i: tuple((i + k) % 40 for k in (1, 3, 7, 11))
+                for i in range(40)
+            },
+            dlinks={i: () for i in range(40)},
+            alive_ids=tuple(range(40)),
+        )
+
+        def run(seed):
+            rng = random.Random(seed)
+            return [
+                disseminate(
+                    snapshot, RandCastPolicy(), 2, i % 40, rng
+                ).notified
+                for i in range(50)
+            ]
+
+        assert run(1) == run(1)
+        assert run(1) != run(2)

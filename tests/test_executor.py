@@ -1,0 +1,236 @@
+"""Tests for the hop-synchronous dissemination executor."""
+
+import random
+
+import pytest
+
+from repro.common.errors import ConfigurationError, SimulationError
+from repro.dissemination.executor import disseminate
+from repro.dissemination.policies import (
+    FloodingPolicy,
+    RandCastPolicy,
+    RingCastPolicy,
+)
+from repro.dissemination.snapshot import OverlaySnapshot
+from repro.graphs.generators import (
+    balanced_tree,
+    bidirectional_ring,
+    clique,
+    star,
+)
+
+
+def graph_snapshot(adjacency):
+    return OverlaySnapshot.from_graph(adjacency)
+
+
+class TestFloodingOverGraphs:
+    def test_ring_complete(self, rng):
+        snapshot = graph_snapshot(bidirectional_ring(list(range(10))))
+        result = disseminate(snapshot, FloodingPolicy(), 1, 0, rng)
+        assert result.complete
+        assert result.hit_ratio == 1.0
+
+    def test_ring_message_count(self, rng):
+        # Two waves travel the ring; each non-origin node forwards once:
+        # N+1 messages, N-1 virgin, 2 redundant where the waves collide.
+        n = 12
+        snapshot = graph_snapshot(bidirectional_ring(list(range(n))))
+        result = disseminate(snapshot, FloodingPolicy(), 1, 0, rng)
+        assert result.msgs_virgin == n - 1
+        assert result.total_messages == n + 1
+
+    def test_ring_hops_is_half_ring(self, rng):
+        n = 16
+        snapshot = graph_snapshot(bidirectional_ring(list(range(n))))
+        result = disseminate(snapshot, FloodingPolicy(), 1, 0, rng)
+        assert result.hops == n // 2
+
+    def test_tree_optimal_messages(self, rng):
+        # A tree broadcast is optimal: exactly N-1 sends, zero redundant.
+        n = 15
+        snapshot = graph_snapshot(balanced_tree(list(range(n)), branching=2))
+        result = disseminate(snapshot, FloodingPolicy(), 1, 0, rng)
+        assert result.complete
+        assert result.msgs_virgin == n - 1
+        assert result.msgs_redundant == 0
+
+    def test_tree_from_leaf_also_complete(self, rng):
+        snapshot = graph_snapshot(balanced_tree(list(range(15)), branching=2))
+        result = disseminate(snapshot, FloodingPolicy(), 1, 14, rng)
+        assert result.complete
+
+    def test_star_two_hops(self, rng):
+        snapshot = graph_snapshot(star(list(range(20))))
+        result = disseminate(snapshot, FloodingPolicy(), 1, 5, rng)
+        assert result.complete
+        assert result.hops == 2
+
+    def test_clique_one_hop(self, rng):
+        snapshot = graph_snapshot(clique(list(range(10))))
+        result = disseminate(snapshot, FloodingPolicy(), 1, 0, rng)
+        assert result.complete
+        assert result.hops == 1
+        assert result.msgs_virgin == 9
+
+
+class TestValidation:
+    def test_rejects_bad_fanout(self, rng, ringcast_snapshot):
+        with pytest.raises(ConfigurationError):
+            disseminate(ringcast_snapshot, RingCastPolicy(), 0, 0, rng)
+
+    def test_rejects_dead_origin(self, rng):
+        snapshot = graph_snapshot(bidirectional_ring(list(range(5))))
+        damaged = snapshot.kill_count(1, rng)
+        dead = (set(snapshot.alive_ids) - set(damaged.alive_ids)).pop()
+        with pytest.raises(SimulationError):
+            disseminate(damaged, FloodingPolicy(), 1, dead, rng)
+
+
+class TestAccounting:
+    def test_message_identity(self, ringcast_snapshot, rng):
+        result = disseminate(
+            ringcast_snapshot, RingCastPolicy(), 3, 0, rng
+        )
+        assert (
+            result.total_messages
+            == result.msgs_virgin + result.msgs_redundant + result.msgs_to_dead
+        )
+
+    def test_virgin_equals_notified_minus_origin(
+        self, ringcast_snapshot, rng
+    ):
+        result = disseminate(ringcast_snapshot, RingCastPolicy(), 3, 0, rng)
+        assert result.msgs_virgin == result.notified - 1
+
+    def test_per_hop_new_sums_to_notified(self, ringcast_snapshot, rng):
+        result = disseminate(ringcast_snapshot, RingCastPolicy(), 3, 0, rng)
+        assert sum(result.per_hop_new) == result.notified
+
+    def test_missed_ids_complement(self, randcast_snapshot, rng):
+        result = disseminate(randcast_snapshot, RandCastPolicy(), 2, 0, rng)
+        assert len(result.missed_ids) == result.population - result.notified
+        assert set(result.missed_ids) <= set(randcast_snapshot.alive_ids)
+
+    def test_hops_matches_series_length(self, ringcast_snapshot, rng):
+        result = disseminate(ringcast_snapshot, RingCastPolicy(), 5, 0, rng)
+        assert result.hops == len(result.per_hop_new) - 1
+
+    def test_not_reached_series_monotone(self, ringcast_snapshot, rng):
+        result = disseminate(ringcast_snapshot, RingCastPolicy(), 3, 0, rng)
+        series = result.not_reached_series()
+        assert all(a >= b for a, b in zip(series, series[1:]))
+        assert series[-1] == 0.0
+        assert series[0] == pytest.approx(
+            100.0 * (result.population - 1) / result.population
+        )
+
+    def test_no_dead_messages_in_failure_free(self, ringcast_snapshot, rng):
+        result = disseminate(ringcast_snapshot, RingCastPolicy(), 4, 0, rng)
+        assert result.msgs_to_dead == 0
+
+    def test_load_collection_disabled_by_default(
+        self, ringcast_snapshot, rng
+    ):
+        result = disseminate(ringcast_snapshot, RingCastPolicy(), 3, 0, rng)
+        assert result.sent_per_node == {}
+
+    def test_load_collection(self, ringcast_snapshot, rng):
+        result = disseminate(
+            ringcast_snapshot, RingCastPolicy(), 3, 0, rng, collect_load=True
+        )
+        assert sum(result.sent_per_node.values()) == result.total_messages
+        assert (
+            sum(result.received_per_node.values())
+            == result.msgs_virgin + result.msgs_redundant
+        )
+        # Every notified node forwarded exactly once (fanout sends each).
+        assert all(v <= 3 for v in result.sent_per_node.values())
+
+
+class TestRingcastGuarantee:
+    @pytest.mark.parametrize("fanout", [1, 2, 3, 5, 10])
+    def test_complete_on_converged_overlay(
+        self, ringcast_snapshot, rng, fanout
+    ):
+        # The paper's headline: zero miss ratio at every fanout.
+        for trial in range(5):
+            origin = ringcast_snapshot.random_alive(rng)
+            result = disseminate(
+                ringcast_snapshot, RingCastPolicy(), fanout, origin, rng
+            )
+            assert result.complete
+
+    def test_fanout_one_message_cost_about_n(self, ringcast_snapshot, rng):
+        # F=1: ring traversal both ways — about N+1 messages total.
+        result = disseminate(ringcast_snapshot, RingCastPolicy(), 1, 0, rng)
+        assert result.complete
+        assert result.total_messages <= ringcast_snapshot.population + 2
+
+    def test_fanout_f_costs_f_times_n(self, ringcast_snapshot, rng):
+        # Fig. 8: total messages = F x N_hit for F >= 2.
+        for fanout in (2, 3, 5):
+            result = disseminate(
+                ringcast_snapshot, RingCastPolicy(), fanout, 0, rng
+            )
+            assert result.total_messages == fanout * result.population
+
+
+class TestRandcastBehaviour:
+    def test_low_fanout_misses_nodes(self, randcast_snapshot, rng):
+        results = [
+            disseminate(
+                randcast_snapshot,
+                RandCastPolicy(),
+                2,
+                randcast_snapshot.random_alive(rng),
+                rng,
+            )
+            for _ in range(10)
+        ]
+        assert any(not r.complete for r in results)
+
+    def test_high_fanout_completes(self, randcast_snapshot, rng):
+        # With F = view size the overlay floods its full out-degree; at
+        # N=150 and 20 links per node every run completes.
+        result = disseminate(randcast_snapshot, RandCastPolicy(), 20, 0, rng)
+        assert result.complete
+
+    def test_miss_ratio_decreases_with_fanout(self, randcast_snapshot, rng):
+        def mean_miss(fanout):
+            misses = []
+            for _ in range(15):
+                origin = randcast_snapshot.random_alive(rng)
+                result = disseminate(
+                    randcast_snapshot, RandCastPolicy(), fanout, origin, rng
+                )
+                misses.append(result.miss_ratio)
+            return sum(misses) / len(misses)
+
+        assert mean_miss(2) > mean_miss(5) >= mean_miss(10)
+
+    def test_exponential_spread_phase(self, randcast_snapshot, rng):
+        # Early hops grow geometrically with base ~F before saturation.
+        result = disseminate(randcast_snapshot, RandCastPolicy(), 5, 0, rng)
+        assert result.per_hop_new[1] == 5
+        assert result.per_hop_new[2] > 15
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self, ringcast_snapshot):
+        a = disseminate(
+            ringcast_snapshot, RingCastPolicy(), 3, 0, random.Random(9)
+        )
+        b = disseminate(
+            ringcast_snapshot, RingCastPolicy(), 3, 0, random.Random(9)
+        )
+        assert a == b
+
+    def test_different_seed_different_spread(self, randcast_snapshot):
+        a = disseminate(
+            randcast_snapshot, RandCastPolicy(), 3, 0, random.Random(1)
+        )
+        b = disseminate(
+            randcast_snapshot, RandCastPolicy(), 3, 0, random.Random(2)
+        )
+        assert a.per_hop_new != b.per_hop_new

@@ -1,0 +1,245 @@
+"""Tests for the §8 extensions: multi-ring, Harary d-links, domain ring,
+pull recovery."""
+
+import random
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.dissemination.executor import disseminate
+from repro.dissemination.policies import RingCastPolicy
+from repro.extensions.domain_ring import (
+    domain_locality_score,
+    domain_ring_spec,
+)
+from repro.extensions.hararycast import (
+    hararycast_spec,
+    nearest_ring_links,
+)
+from repro.extensions.multiring import dgraph_survives, multiring_spec
+from repro.extensions.pull_recovery import pull_recovery
+from repro.graphs.analysis import is_strongly_connected
+from repro.membership.views import NodeDescriptor
+from repro.sim.node import NodeProfile
+from tests.conftest import build_snapshot
+
+
+class TestSpecHelpers:
+    def test_multiring_spec(self):
+        spec = multiring_spec(3)
+        assert spec.kind == "multiring"
+        assert spec.num_rings == 3
+
+    def test_hararycast_spec(self):
+        spec = hararycast_spec(6)
+        assert spec.kind == "hararycast"
+        assert spec.harary_connectivity == 6
+
+    def test_domain_ring_spec(self):
+        spec = domain_ring_spec(12)
+        assert spec.kind == "domain_ring"
+        assert spec.num_domains == 12
+
+
+class TestNearestRingLinks:
+    def _descriptors(self, ring_ids):
+        return [
+            NodeDescriptor(i, 0, NodeProfile(ring_ids=(rid,)))
+            for i, rid in enumerate(ring_ids)
+        ]
+
+    def test_picks_both_sides(self):
+        me = NodeProfile(ring_ids=(50,))
+        candidates = self._descriptors([10, 40, 45, 55, 60, 90])
+        links = nearest_ring_links(me, candidates, half_width=2, space=100)
+        # Successors 55, 60 (ids 3, 4); predecessors 45, 40 (ids 2, 1).
+        assert set(links) == {3, 4, 2, 1}
+
+    def test_no_duplicates_with_tiny_candidate_set(self):
+        me = NodeProfile(ring_ids=(50,))
+        candidates = self._descriptors([60])
+        links = nearest_ring_links(me, candidates, half_width=2, space=100)
+        assert links == (0,)
+
+    def test_validates_half_width(self):
+        me = NodeProfile(ring_ids=(50,))
+        with pytest.raises(ConfigurationError):
+            nearest_ring_links(me, [], half_width=0)
+
+
+class TestMultiring:
+    def test_dgraph_survives_with_no_failures(self, multiring_snapshot):
+        assert dgraph_survives(multiring_snapshot, [])
+
+    def test_two_rings_survive_adjacent_pair_failure(
+        self, multiring_snapshot, ringcast_snapshot, rng
+    ):
+        # Killing two ring-adjacent nodes cuts a single ring's d-graph;
+        # with two independent rings the d-graph survives (whp — the
+        # second ring's ordering is independent).
+        order = sorted(
+            ringcast_snapshot.alive_ids,
+            key=lambda i: ringcast_snapshot.ring_ids[i],
+        )
+        survived_single = dgraph_survives(
+            ringcast_snapshot, [order[10], order[12]]
+        )
+        assert not survived_single  # non-adjacent pair cuts H(n,2)
+
+        order2 = sorted(
+            multiring_snapshot.alive_ids,
+            key=lambda i: multiring_snapshot.ring_ids[i],
+        )
+        assert dgraph_survives(multiring_snapshot, [order2[10], order2[12]])
+
+    def test_multiring_dissemination_complete_at_min_fanout(
+        self, multiring_snapshot, rng
+    ):
+        result = disseminate(
+            multiring_snapshot, RingCastPolicy(), 1, 0, rng
+        )
+        assert result.complete
+
+
+class TestHararycast:
+    @pytest.fixture(scope="class")
+    def harary_snapshot(self):
+        return build_snapshot(
+            "hararycast", harary_connectivity=4, seed=17
+        )
+
+    def test_dgraph_is_4_regular(self, harary_snapshot):
+        assert all(
+            len(harary_snapshot.dlinks[i]) == 4
+            for i in harary_snapshot.alive_ids
+        )
+
+    def test_dgraph_strongly_connected(self, harary_snapshot):
+        assert is_strongly_connected(harary_snapshot.d_graph())
+
+    def test_survives_adjacent_triple_failure(self, harary_snapshot):
+        # H(n, 4) tolerates any 3 failures; kill 3 consecutive ring
+        # nodes — the worst case for a plain ring.
+        order = sorted(
+            harary_snapshot.alive_ids,
+            key=lambda i: harary_snapshot.ring_ids[i],
+        )
+        assert dgraph_survives(harary_snapshot, order[5:8])
+
+    def test_dissemination_complete_with_dlinks_only(
+        self, harary_snapshot, rng
+    ):
+        result = disseminate(harary_snapshot, RingCastPolicy(), 1, 3, rng)
+        assert result.complete
+
+
+class TestDomainRing:
+    @pytest.fixture(scope="class")
+    def domain_snapshot_and_domains(self):
+        from repro.common.rng import RngRegistry
+        from repro.experiments.builder import (
+            build_population,
+            freeze_overlay,
+            warm_up,
+        )
+        from repro.experiments.config import ExperimentConfig, OverlaySpec
+
+        config = ExperimentConfig(
+            num_nodes=150, warmup_cycles=80, seed=19
+        )
+        population = build_population(
+            config,
+            OverlaySpec("domain_ring", num_domains=6),
+            RngRegistry(19),
+        )
+        warm_up(population)
+        snapshot = freeze_overlay(population)
+        domains = {
+            node.node_id: node.profile.domain
+            for node in population.network.alive_nodes()
+        }
+        return snapshot, domains
+
+    def test_dlinks_mostly_intra_domain(self, domain_snapshot_and_domains):
+        snapshot, domains = domain_snapshot_and_domains
+        score = domain_locality_score(snapshot, domains)
+        # Random baseline would be ~1/6; a domain-sorted ring only
+        # crosses domains at segment boundaries.
+        assert score > 0.75
+
+    def test_dissemination_complete_on_domain_ring(
+        self, domain_snapshot_and_domains, rng
+    ):
+        snapshot, _domains = domain_snapshot_and_domains
+        result = disseminate(snapshot, RingCastPolicy(), 3, 0, rng)
+        assert result.complete
+
+    def test_locality_score_of_random_ring_is_low(self, ringcast_snapshot):
+        # Assign synthetic domains uniformly — a random ring's d-links
+        # should match ~1/num_domains.
+        domains = {
+            node_id: f"d{node_id % 6}"
+            for node_id in ringcast_snapshot.alive_ids
+        }
+        score = domain_locality_score(ringcast_snapshot, domains)
+        assert score < 0.4
+
+    def test_empty_dlinks_scores_zero(self, randcast_snapshot):
+        assert domain_locality_score(randcast_snapshot, {}) == 0.0
+
+
+class TestPullRecovery:
+    def test_recovers_randcast_misses(self, randcast_snapshot, rng):
+        push = disseminate(
+            randcast_snapshot,
+            __import__(
+                "repro.dissemination.policies", fromlist=["RandCastPolicy"]
+            ).RandCastPolicy(),
+            2,
+            0,
+            rng,
+        )
+        if push.complete:
+            pytest.skip("push happened to complete")
+        recovery = pull_recovery(randcast_snapshot, push, rng)
+        assert recovery.complete
+        assert recovery.recovered == len(push.missed_ids)
+        assert recovery.rounds_used >= 1
+
+    def test_no_op_when_push_complete(self, ringcast_snapshot, rng):
+        push = disseminate(
+            ringcast_snapshot, RingCastPolicy(), 3, 0, rng
+        )
+        recovery = pull_recovery(ringcast_snapshot, push, rng)
+        assert recovery.rounds_used == 0
+        assert recovery.pull_requests == 0
+        assert recovery.final_hit_ratio == 1.0
+
+    def test_more_pulls_per_round_converges_faster(
+        self, randcast_snapshot
+    ):
+        from repro.dissemination.policies import RandCastPolicy
+
+        rng = random.Random(4)
+        push = disseminate(randcast_snapshot, RandCastPolicy(), 1, 0, rng)
+        slow = pull_recovery(
+            randcast_snapshot, push, random.Random(1), pulls_per_round=1
+        )
+        fast = pull_recovery(
+            randcast_snapshot, push, random.Random(1), pulls_per_round=5
+        )
+        assert fast.rounds_used <= slow.rounds_used
+
+    def test_validates_pulls_per_round(self, ringcast_snapshot, rng):
+        push = disseminate(ringcast_snapshot, RingCastPolicy(), 3, 0, rng)
+        with pytest.raises(ConfigurationError):
+            pull_recovery(ringcast_snapshot, push, rng, pulls_per_round=0)
+
+    def test_per_round_missing_monotone(self, randcast_snapshot):
+        from repro.dissemination.policies import RandCastPolicy
+
+        rng = random.Random(6)
+        push = disseminate(randcast_snapshot, RandCastPolicy(), 1, 0, rng)
+        recovery = pull_recovery(randcast_snapshot, push, rng)
+        series = recovery.per_round_missing
+        assert all(a >= b for a, b in zip(series, series[1:]))

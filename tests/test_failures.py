@@ -1,0 +1,184 @@
+"""Tests for failure models: catastrophic kills, artificial churn, traces."""
+
+import random
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.failures.catastrophic import kill_random_fraction
+from repro.failures.churn import ArtificialChurn
+from repro.failures.traces import SyntheticSessionTrace, TraceChurn
+from repro.membership.cyclon import Cyclon
+from repro.sim.cycle import CycleDriver
+from repro.sim.network import Network
+
+
+def cyclon_factory(network):
+    node = network.create_node()
+    node.attach("cyclon", Cyclon(node, view_size=5, shuffle_length=3))
+    return node
+
+
+def build_network(rng, count=50):
+    network = Network(rng)
+    for _ in range(count):
+        cyclon_factory(network)
+    return network
+
+
+class TestCatastrophic:
+    def test_kills_requested_fraction(self, rng):
+        network = build_network(rng, 100)
+        victims = kill_random_fraction(network, 0.1, rng)
+        assert len(victims) == 10
+        assert network.size == 90
+
+    def test_victims_are_dead(self, rng):
+        network = build_network(rng, 20)
+        for victim in kill_random_fraction(network, 0.25, rng):
+            assert not network.is_alive(victim)
+
+    def test_zero_fraction(self, rng):
+        network = build_network(rng, 10)
+        assert kill_random_fraction(network, 0.0, rng) == []
+
+    def test_never_kills_everyone(self, rng):
+        network = build_network(rng, 4)
+        kill_random_fraction(network, 0.9, rng)
+        assert network.size >= 1
+
+    def test_rejects_fraction_one(self, rng):
+        network = build_network(rng, 4)
+        with pytest.raises(ConfigurationError):
+            kill_random_fraction(network, 1.0, rng)
+
+    def test_deterministic(self):
+        net_a = build_network(random.Random(3), 40)
+        net_b = build_network(random.Random(3), 40)
+        va = kill_random_fraction(net_a, 0.2, random.Random(7))
+        vb = kill_random_fraction(net_b, 0.2, random.Random(7))
+        assert va == vb
+
+
+class TestArtificialChurn:
+    def test_rate_validation(self):
+        with pytest.raises(ConfigurationError):
+            ArtificialChurn(rate=1.5, node_factory=cyclon_factory)
+
+    def test_replacements_for_large_population(self):
+        churn = ArtificialChurn(rate=0.002, node_factory=cyclon_factory)
+        assert churn.replacements_for(10_000) == 20
+
+    def test_fractional_carry_preserves_rate(self):
+        churn = ArtificialChurn(rate=0.002, node_factory=cyclon_factory)
+        total = sum(churn.replacements_for(500) for _ in range(1000))
+        assert total == pytest.approx(1000, abs=1)
+
+    def test_population_size_constant(self, rng):
+        network = build_network(rng, 50)
+        churn = ArtificialChurn(rate=0.1, node_factory=cyclon_factory)
+        for _ in range(10):
+            churn(network, rng)
+        assert network.size == 50
+        assert churn.total_removed == churn.total_joined == 50
+
+    def test_joiners_get_contact_and_fresh_join_cycle(self, rng):
+        network = build_network(rng, 30)
+        network.current_cycle = 5
+        churn = ArtificialChurn(rate=0.1, node_factory=cyclon_factory)
+        churn(network, rng)
+        joiners = [n for n in network.alive_nodes() if n.join_cycle == 5]
+        assert len(joiners) == 3
+        for joiner in joiners:
+            assert joiner.protocol("cyclon").view.size == 1
+
+    def test_removed_nodes_never_return(self, rng):
+        network = build_network(rng, 30)
+        churn = ArtificialChurn(rate=0.1, node_factory=cyclon_factory)
+        dead = set()
+        for _ in range(20):
+            churn(network, rng)
+            alive = set(network.alive_ids())
+            assert not (alive & dead)
+            dead |= set(
+                n.node_id for n in network.all_nodes() if not n.alive
+            )
+
+    def test_min_population_floor(self, rng):
+        network = build_network(rng, 3)
+        churn = ArtificialChurn(
+            rate=0.9, node_factory=cyclon_factory, min_population=3
+        )
+        churn(network, rng)
+        assert network.size == 3
+        assert churn.total_removed == 0
+
+    def test_full_turnover_detection(self, rng):
+        network = build_network(rng, 10)
+        churn = ArtificialChurn(rate=0.3, node_factory=cyclon_factory)
+        driver = CycleDriver(network, rng, churn=churn)
+        assert not churn.full_turnover_reached(network)
+        driver.run_until(churn.full_turnover_reached, max_cycles=300)
+        assert churn.full_turnover_reached(network)
+        assert all(n.join_cycle > 0 for n in network.alive_nodes())
+
+
+class TestSyntheticTrace:
+    def test_validates_alpha(self):
+        with pytest.raises(ConfigurationError):
+            SyntheticSessionTrace(alpha=1.0)
+
+    def test_validates_session_bounds(self):
+        with pytest.raises(ConfigurationError):
+            SyntheticSessionTrace(min_session=0)
+        with pytest.raises(ConfigurationError):
+            SyntheticSessionTrace(min_session=10, max_session=5)
+
+    def test_samples_at_least_one_cycle(self, rng):
+        trace = SyntheticSessionTrace(alpha=1.2, min_session=1.0)
+        assert all(trace.sample(rng) >= 1 for _ in range(200))
+
+    def test_samples_capped(self, rng):
+        trace = SyntheticSessionTrace(max_session=50.0)
+        assert all(trace.sample(rng) <= 50 for _ in range(500))
+
+    def test_heavy_tail_shape(self, rng):
+        trace = SyntheticSessionTrace(alpha=1.3, min_session=2.0)
+        samples = [trace.sample(rng) for _ in range(3000)]
+        short = sum(1 for s in samples if s <= 4)
+        long = sum(1 for s in samples if s > 40)
+        assert short > len(samples) * 0.5
+        assert long > 0
+
+    def test_mean_session_analytic(self):
+        trace = SyntheticSessionTrace(alpha=2.0, min_session=3.0)
+        assert trace.mean_session() == pytest.approx(6.0)
+
+
+class TestTraceChurn:
+    def test_population_constant_under_trace_churn(self, rng):
+        network = build_network(rng, 40)
+        trace = SyntheticSessionTrace(alpha=1.5, min_session=2.0)
+        churn = TraceChurn(trace, cyclon_factory, rng)
+        for node in network.alive_nodes():
+            churn.register(node)
+        for _ in range(30):
+            churn(network, rng)
+        assert network.size == 40
+        assert churn.total_removed > 0
+
+    def test_unregistered_nodes_get_sessions_lazily(self, rng):
+        network = build_network(rng, 10)
+        trace = SyntheticSessionTrace()
+        churn = TraceChurn(trace, cyclon_factory, rng)
+        churn(network, rng)  # no registration beforehand
+        assert len(churn._remaining) == network.size
+
+    def test_respects_min_population(self, rng):
+        network = build_network(rng, 3)
+        trace = SyntheticSessionTrace(alpha=1.2, min_session=1.0)
+        churn = TraceChurn(trace, cyclon_factory, rng, min_population=3)
+        for node in network.alive_nodes():
+            churn._remaining[node.node_id] = 1
+        churn(network, rng)
+        assert network.size == 3

@@ -1,0 +1,137 @@
+"""Tests for the graph analysis toolkit, cross-checked against networkx."""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.graphs.analysis import (
+    degree_histogram,
+    indegree_map,
+    is_strongly_connected,
+    reachable_from,
+    ring_agreement,
+    sampled_average_path_length,
+)
+from repro.graphs.generators import (
+    bidirectional_ring,
+    clique,
+    random_out_graph,
+    star,
+)
+
+
+class TestReachability:
+    def test_reachable_on_ring(self):
+        adjacency = bidirectional_ring(list(range(6)))
+        assert reachable_from(adjacency, 0) == set(range(6))
+
+    def test_unreachable_on_directed_chain(self):
+        adjacency = {0: (1,), 1: (2,), 2: ()}
+        assert reachable_from(adjacency, 1) == {1, 2}
+
+    def test_origin_always_included(self):
+        assert reachable_from({0: ()}, 0) == {0}
+
+
+class TestStrongConnectivity:
+    def test_ring_strongly_connected(self):
+        assert is_strongly_connected(bidirectional_ring(list(range(8))))
+
+    def test_one_way_chain_not_strong(self):
+        assert not is_strongly_connected({0: (1,), 1: (2,), 2: ()})
+
+    def test_directed_cycle_strong(self):
+        assert is_strongly_connected({0: (1,), 1: (2,), 2: (0,)})
+
+    def test_disconnected_not_strong(self):
+        assert not is_strongly_connected({0: (1,), 1: (0,), 2: (3,), 3: (2,)})
+
+    def test_empty_graph_trivially_strong(self):
+        assert is_strongly_connected({})
+
+    def test_matches_networkx_on_random_digraphs(self):
+        rng = random.Random(7)
+        for trial in range(25):
+            n = rng.randrange(3, 20)
+            graph = nx.gnp_random_graph(
+                n, rng.uniform(0.05, 0.5), directed=True, seed=trial
+            )
+            adjacency = {
+                node: tuple(graph.successors(node)) for node in graph.nodes
+            }
+            assert is_strongly_connected(adjacency) == (
+                nx.is_strongly_connected(graph) if len(graph) else True
+            )
+
+
+class TestDegrees:
+    def test_indegree_map_on_star(self):
+        adjacency = star(list(range(5)))
+        indegrees = indegree_map(adjacency)
+        assert indegrees[0] == 4
+        assert all(indegrees[leaf] == 1 for leaf in range(1, 5))
+
+    def test_indegree_includes_targets_missing_from_keys(self):
+        indegrees = indegree_map({0: (1, 2)})
+        assert indegrees == {0: 0, 1: 1, 2: 1}
+
+    def test_degree_histogram(self):
+        assert degree_histogram([2, 2, 3]) == {2: 2, 3: 1}
+
+    def test_degree_histogram_empty(self):
+        assert degree_histogram([]) == {}
+
+
+class TestPathLength:
+    def test_clique_has_path_length_one(self, rng):
+        adjacency = clique(list(range(10)))
+        assert sampled_average_path_length(adjacency, rng) == pytest.approx(
+            1.0
+        )
+
+    def test_ring_path_length_about_n_over_4(self, rng):
+        n = 40
+        adjacency = bidirectional_ring(list(range(n)))
+        value = sampled_average_path_length(adjacency, rng, samples=40)
+        assert value == pytest.approx(n / 4, rel=0.15)
+
+    def test_random_graph_logarithmic(self, rng):
+        adjacency = random_out_graph(list(range(200)), 6, rng)
+        value = sampled_average_path_length(adjacency, rng, samples=30)
+        assert 1.5 < value < 5.0
+
+    def test_trivial_graphs(self, rng):
+        assert sampled_average_path_length({}, rng) == 0.0
+        assert sampled_average_path_length({0: ()}, rng) == 0.0
+
+
+class TestRingAgreement:
+    def test_perfect_ring_scores_one(self):
+        ring = [3, 9, 14, 20, 31]
+        dlinks = {}
+        n = len(ring)
+        for i, node in enumerate(ring):
+            dlinks[node] = (ring[(i + 1) % n], ring[(i - 1) % n])
+        assert ring_agreement(dlinks, ring) == 1.0
+
+    def test_one_wrong_node_scores_fraction(self):
+        ring = [1, 2, 3, 4]
+        dlinks = {
+            1: (2, 4),
+            2: (3, 1),
+            3: (4, 2),
+            4: (2, 3),  # wrong: should be (1, 3)
+        }
+        assert ring_agreement(dlinks, ring) == pytest.approx(0.75)
+
+    def test_missing_dlinks_score_zero(self):
+        ring = [1, 2, 3]
+        assert ring_agreement({}, ring) == 0.0
+
+    def test_empty_ring(self):
+        assert ring_agreement({}, []) == 1.0
+
+    def test_two_node_ring(self):
+        # Each node's only neighbor plays both successor and predecessor.
+        assert ring_agreement({1: (2,), 2: (1,)}, [1, 2]) == 1.0

@@ -1,0 +1,219 @@
+"""Tests for the static overlay generators (paper §3 family).
+
+networkx serves as an independent oracle for connectivity properties —
+notably that Harary graphs H(n, t) really are t-connected and minimal.
+"""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.graphs.generators import (
+    balanced_tree,
+    bidirectional_ring,
+    clique,
+    harary_graph,
+    random_out_graph,
+    star,
+)
+
+
+def to_nx(adjacency):
+    graph = nx.DiGraph()
+    graph.add_nodes_from(adjacency)
+    for node, neighbors in adjacency.items():
+        for neighbor in neighbors:
+            graph.add_edge(node, neighbor)
+    return graph
+
+
+def to_nx_undirected(adjacency):
+    return to_nx(adjacency).to_undirected()
+
+
+IDS = list(range(12))
+
+
+class TestBidirectionalRing:
+    def test_every_node_has_two_links(self):
+        adjacency = bidirectional_ring(IDS)
+        assert all(len(links) == 2 for links in adjacency.values())
+
+    def test_symmetric(self):
+        adjacency = bidirectional_ring(IDS)
+        for node, links in adjacency.items():
+            for link in links:
+                assert node in adjacency[link]
+
+    def test_is_single_cycle(self):
+        graph = to_nx_undirected(bidirectional_ring(IDS))
+        assert nx.is_connected(graph)
+        assert graph.number_of_edges() == len(IDS)
+
+    def test_respects_given_order(self):
+        adjacency = bidirectional_ring([10, 20, 30, 40])
+        assert adjacency[10] == (20, 40)
+        assert adjacency[30] == (40, 20)
+
+    def test_two_nodes(self):
+        adjacency = bidirectional_ring([1, 2])
+        assert adjacency == {1: (2,), 2: (1,)}
+
+    def test_survives_any_single_failure(self):
+        # Harary H(n, 2): removing any one node leaves it connected.
+        adjacency = bidirectional_ring(IDS)
+        graph = to_nx_undirected(adjacency)
+        for node in IDS:
+            reduced = graph.copy()
+            reduced.remove_node(node)
+            assert nx.is_connected(reduced)
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ConfigurationError):
+            bidirectional_ring([1, 1, 2])
+
+    def test_rejects_too_few(self):
+        with pytest.raises(ConfigurationError):
+            bidirectional_ring([1])
+
+
+class TestStar:
+    def test_center_links_to_all_leaves(self):
+        adjacency = star(IDS)
+        assert set(adjacency[0]) == set(IDS) - {0}
+
+    def test_leaves_link_only_to_center(self):
+        adjacency = star(IDS)
+        for leaf in IDS[1:]:
+            assert adjacency[leaf] == (0,)
+
+    def test_custom_center(self):
+        adjacency = star([5, 6, 7], center_index=1)
+        assert set(adjacency[6]) == {5, 7}
+
+    def test_center_failure_disconnects(self):
+        graph = to_nx_undirected(star(IDS))
+        graph.remove_node(0)
+        assert not nx.is_connected(graph)
+
+
+class TestClique:
+    def test_complete(self):
+        adjacency = clique(IDS)
+        for node, links in adjacency.items():
+            assert set(links) == set(IDS) - {node}
+
+    def test_max_connectivity(self):
+        graph = to_nx_undirected(clique(list(range(8))))
+        assert nx.node_connectivity(graph) == 7
+
+
+class TestBalancedTree:
+    def test_edge_count_is_n_minus_1(self):
+        graph = to_nx_undirected(balanced_tree(IDS, branching=2))
+        assert graph.number_of_edges() == len(IDS) - 1
+
+    def test_is_tree(self):
+        graph = to_nx_undirected(balanced_tree(IDS, branching=3))
+        assert nx.is_tree(graph)
+
+    def test_branching_respected(self):
+        adjacency = balanced_tree(list(range(7)), branching=2)
+        # Root 0 has children 1, 2 and no parent.
+        assert set(adjacency[0]) == {1, 2}
+
+    def test_internal_failure_disconnects(self):
+        graph = to_nx_undirected(balanced_tree(IDS, branching=2))
+        graph.remove_node(1)  # a non-leaf
+        assert not nx.is_connected(graph)
+
+    def test_rejects_bad_branching(self):
+        with pytest.raises(ConfigurationError):
+            balanced_tree(IDS, branching=0)
+
+    def test_single_node(self):
+        assert balanced_tree([9]) == {9: ()}
+
+
+class TestHararyGraph:
+    @pytest.mark.parametrize(
+        "n,t",
+        [(8, 2), (8, 3), (9, 3), (10, 4), (11, 4), (11, 5), (12, 5), (13, 6)],
+    )
+    def test_connectivity_matches_t(self, n, t):
+        adjacency = harary_graph(list(range(n)), t)
+        graph = to_nx_undirected(adjacency)
+        assert nx.node_connectivity(graph) == t
+
+    @pytest.mark.parametrize("n,t", [(10, 2), (10, 4), (12, 6)])
+    def test_even_t_is_minimal(self, n, t):
+        # Harary graphs use ceil(t*n/2) edges — the theoretical minimum.
+        graph = to_nx_undirected(harary_graph(list(range(n)), t))
+        assert graph.number_of_edges() == (t * n + 1) // 2
+
+    def test_degrees_within_one_of_t(self):
+        adjacency = harary_graph(list(range(11)), 5)
+        degrees = [len(links) for links in adjacency.values()]
+        assert all(5 <= d <= 6 for d in degrees)
+
+    def test_t2_is_bidirectional_ring(self):
+        ring = bidirectional_ring(IDS)
+        harary = harary_graph(IDS, 2)
+        assert {k: set(v) for k, v in ring.items()} == {
+            k: set(v) for k, v in harary.items()
+        }
+
+    def test_symmetric_links(self):
+        adjacency = harary_graph(list(range(10)), 3)
+        for node, links in adjacency.items():
+            for link in links:
+                assert node in adjacency[link]
+
+    def test_survives_t_minus_1_failures(self, rng):
+        t = 4
+        adjacency = harary_graph(list(range(20)), t)
+        graph = to_nx_undirected(adjacency)
+        for _ in range(20):
+            victims = rng.sample(list(range(20)), t - 1)
+            reduced = graph.copy()
+            reduced.remove_nodes_from(victims)
+            assert nx.is_connected(reduced)
+
+    def test_rejects_connectivity_below_2(self):
+        with pytest.raises(ConfigurationError):
+            harary_graph(IDS, 1)
+
+    def test_rejects_connectivity_at_least_n(self):
+        with pytest.raises(ConfigurationError):
+            harary_graph([1, 2, 3], 3)
+
+
+class TestRandomOutGraph:
+    def test_out_degree(self, rng):
+        adjacency = random_out_graph(IDS, 4, rng)
+        assert all(len(links) == 4 for links in adjacency.values())
+
+    def test_no_self_loops(self, rng):
+        adjacency = random_out_graph(IDS, 4, rng)
+        assert all(node not in links for node, links in adjacency.items())
+
+    def test_no_duplicate_targets(self, rng):
+        adjacency = random_out_graph(IDS, 6, rng)
+        assert all(
+            len(set(links)) == len(links) for links in adjacency.values()
+        )
+
+    def test_degree_capped_at_n_minus_1(self, rng):
+        adjacency = random_out_graph([1, 2, 3], 10, rng)
+        assert all(len(links) == 2 for links in adjacency.values())
+
+    def test_deterministic_given_seed(self):
+        a = random_out_graph(IDS, 3, random.Random(1))
+        b = random_out_graph(IDS, 3, random.Random(1))
+        assert a == b
+
+    def test_rejects_zero_degree(self, rng):
+        with pytest.raises(ConfigurationError):
+            random_out_graph(IDS, 0, rng)

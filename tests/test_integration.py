@@ -1,0 +1,235 @@
+"""Integration tests: full pipelines and paper-level claims end to end.
+
+Each test here corresponds to a sentence in the paper's evaluation;
+they run the whole stack (build → gossip → freeze → disseminate →
+measure) at tiny scale.
+"""
+
+import random
+
+import pytest
+
+from repro.dissemination.event_executor import disseminate_event_driven
+from repro.dissemination.executor import disseminate
+from repro.dissemination.policies import RandCastPolicy, RingCastPolicy
+from repro.graphs.analysis import (
+    indegree_map,
+    is_strongly_connected,
+    sampled_average_path_length,
+)
+from repro.metrics.dissemination import summarize_runs
+from repro.metrics.load import LoadStats
+from repro.sim.latency import UniformLatency
+
+
+def run_batch(snapshot, policy, fanout, count, seed):
+    rng = random.Random(seed)
+    results = []
+    for _ in range(count):
+        origin = snapshot.random_alive(rng)
+        results.append(disseminate(snapshot, policy, fanout, origin, rng))
+    return results
+
+
+class TestHeadlineClaim:
+    """§7.1: RINGCAST achieves hit ratio 100% with an order of magnitude
+    lower message overhead than RANDCAST needs for the same."""
+
+    def test_ringcast_complete_at_fanout_2(self, ringcast_snapshot):
+        results = run_batch(
+            ringcast_snapshot, RingCastPolicy(), 2, 20, seed=1
+        )
+        assert all(r.complete for r in results)
+
+    def test_randcast_incomplete_at_fanout_2(self, randcast_snapshot):
+        results = run_batch(
+            randcast_snapshot, RandCastPolicy(), 2, 20, seed=1
+        )
+        assert not all(r.complete for r in results)
+
+    def test_overhead_gap_for_guaranteed_delivery(
+        self, ringcast_snapshot, randcast_snapshot
+    ):
+        # RINGCAST guarantees completeness at F=2 (2N messages);
+        # RANDCAST needs a much larger fanout for all-complete batches.
+        ring_cost = summarize_runs(
+            run_batch(ringcast_snapshot, RingCastPolicy(), 2, 10, seed=2)
+        ).mean_total_messages
+
+        randcast_fanout_needed = None
+        for fanout in range(2, 21):
+            results = run_batch(
+                randcast_snapshot, RandCastPolicy(), fanout, 10, seed=3
+            )
+            if all(r.complete for r in results):
+                randcast_fanout_needed = fanout
+                break
+        assert randcast_fanout_needed is not None
+        rand_cost = summarize_runs(
+            run_batch(
+                randcast_snapshot,
+                RandCastPolicy(),
+                randcast_fanout_needed,
+                10,
+                seed=4,
+            )
+        ).mean_total_messages
+        assert rand_cost > 3 * ring_cost
+
+
+class TestCatastrophicClaim:
+    """§7.2: RINGCAST degrades gracefully and stays ahead of RANDCAST."""
+
+    @pytest.mark.parametrize("kill", [0.01, 0.05, 0.10])
+    def test_ringcast_dominates_at_moderate_fanout(
+        self, ringcast_snapshot, randcast_snapshot, kill
+    ):
+        rng = random.Random(17)
+        ring_damaged = ringcast_snapshot.kill_fraction(kill, rng)
+        rand_damaged = randcast_snapshot.kill_fraction(kill, rng)
+        ring_miss = summarize_runs(
+            run_batch(ring_damaged, RingCastPolicy(), 3, 20, seed=5)
+        ).mean_miss_ratio
+        rand_miss = summarize_runs(
+            run_batch(rand_damaged, RandCastPolicy(), 3, 20, seed=5)
+        ).mean_miss_ratio
+        assert ring_miss <= rand_miss
+
+    def test_rlinks_bridge_ring_partitions(self, ringcast_snapshot):
+        # Fig. 4's scenario: kill enough nodes to partition the ring's
+        # d-graph, then verify dissemination still reaches all survivors
+        # thanks to r-links (with a decent fanout).
+        rng = random.Random(23)
+        damaged = ringcast_snapshot.kill_fraction(0.10, rng)
+        assert not is_strongly_connected(damaged.d_graph())
+        results = run_batch(damaged, RingCastPolicy(), 8, 10, seed=6)
+        assert sum(1 for r in results if r.complete) >= 8
+
+
+class TestLoadDistributionClaim:
+    """§2/§7: both protocols spread load uniformly across nodes."""
+
+    def test_ringcast_forwarding_load_uniform(self, ringcast_snapshot):
+        rng = random.Random(9)
+        totals = {}
+        for _ in range(10):
+            result = disseminate(
+                ringcast_snapshot,
+                RingCastPolicy(),
+                3,
+                ringcast_snapshot.random_alive(rng),
+                rng,
+                collect_load=True,
+            )
+            for node, count in result.sent_per_node.items():
+                totals[node] = totals.get(node, 0) + count
+        stats = LoadStats.from_counters(
+            totals, ringcast_snapshot.alive_ids
+        )
+        assert stats.fairness > 0.95
+        assert stats.max_load <= 2 * stats.mean_load
+
+    def test_randcast_receiving_load_uniform(self, randcast_snapshot):
+        rng = random.Random(9)
+        totals = {}
+        for _ in range(10):
+            result = disseminate(
+                randcast_snapshot,
+                RandCastPolicy(),
+                5,
+                randcast_snapshot.random_alive(rng),
+                rng,
+                collect_load=True,
+            )
+            for node, count in result.received_per_node.items():
+                totals[node] = totals.get(node, 0) + count
+        stats = LoadStats.from_counters(
+            totals, randcast_snapshot.alive_ids
+        )
+        assert stats.fairness > 0.9
+
+
+class TestCyclonIsGoodPeerSampling:
+    """§6: CYCLON produces overlays resembling random graphs."""
+
+    def test_indegree_concentration_matches_random_graph(
+        self, randcast_snapshot, rng
+    ):
+        from repro.graphs.generators import random_out_graph
+
+        cyclon_indegrees = list(
+            indegree_map(randcast_snapshot.rlinks).values()
+        )
+        ideal = random_out_graph(
+            list(randcast_snapshot.alive_ids), 20, rng
+        )
+        ideal_indegrees = list(indegree_map(ideal).values())
+
+        def spread(values):
+            mean = sum(values) / len(values)
+            return max(values) - mean, mean - min(values)
+
+        cyclon_hi, cyclon_lo = spread(cyclon_indegrees)
+        ideal_hi, ideal_lo = spread(ideal_indegrees)
+        # CYCLON's indegree spread is within 3x the ideal random graph.
+        assert cyclon_hi <= 3 * ideal_hi + 3
+        assert cyclon_lo <= 3 * ideal_lo + 3
+
+    def test_path_lengths_logarithmic(self, randcast_snapshot, rng):
+        length = sampled_average_path_length(
+            randcast_snapshot.rlinks, rng, samples=25
+        )
+        assert 1.0 < length < 4.0
+
+    def test_rlink_overlay_strongly_connected(self, randcast_snapshot):
+        assert is_strongly_connected(randcast_snapshot.rlinks)
+
+
+class TestLatencyAblation:
+    """§7.1: latency heterogeneity must not change macroscopic outcomes."""
+
+    def test_event_driven_matches_hop_executor_on_ringcast(
+        self, ringcast_snapshot
+    ):
+        hop_stats = summarize_runs(
+            run_batch(ringcast_snapshot, RingCastPolicy(), 3, 10, seed=8)
+        )
+        rng = random.Random(8)
+        event_results = []
+        for _ in range(10):
+            origin = ringcast_snapshot.random_alive(rng)
+            event_results.append(
+                disseminate_event_driven(
+                    ringcast_snapshot,
+                    RingCastPolicy(),
+                    3,
+                    origin,
+                    rng,
+                    UniformLatency(0.1, 4.0),
+                )
+            )
+        assert hop_stats.complete_fraction == 1.0
+        assert all(r.complete for r in event_results)
+        mean_event_msgs = sum(
+            r.total_messages for r in event_results
+        ) / len(event_results)
+        assert mean_event_msgs == pytest.approx(
+            hop_stats.mean_total_messages, rel=0.02
+        )
+
+
+class TestDeterministicReproduction:
+    def test_full_pipeline_reproducible(self):
+        from tests.conftest import build_snapshot
+
+        a = build_snapshot("ringcast", num_nodes=100, seed=31, warmup=40)
+        b = build_snapshot("ringcast", num_nodes=100, seed=31, warmup=40)
+        assert a.rlinks == b.rlinks
+        assert a.dlinks == b.dlinks
+        result_a = disseminate(
+            a, RingCastPolicy(), 3, 0, random.Random(7)
+        )
+        result_b = disseminate(
+            b, RingCastPolicy(), 3, 0, random.Random(7)
+        )
+        assert result_a == result_b

@@ -1,0 +1,84 @@
+"""Tests for dissemination over a still-gossiping overlay (§7.1 claim)."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError, SimulationError
+from repro.dissemination.live import disseminate_live
+from repro.failures.churn import ArtificialChurn
+from tests.conftest import build_warm_population
+
+
+@pytest.fixture(scope="module")
+def warm_ringcast_population():
+    return build_warm_population("ringcast", num_nodes=120, seed=5)
+
+
+class TestLiveDissemination:
+    def test_complete_with_gossip_running(self, warm_ringcast_population, rng):
+        result = disseminate_live(
+            warm_ringcast_population, fanout=3, origin=0, rng=rng,
+            cycles_per_hop=1,
+        )
+        assert result.complete
+
+    def test_complete_with_fast_gossip(self, warm_ringcast_population, rng):
+        # Forwarding time = 3 gossip periods: overlay changes a lot
+        # between hops, macroscopic outcome must not.
+        result = disseminate_live(
+            warm_ringcast_population, fanout=3, origin=5, rng=rng,
+            cycles_per_hop=3,
+        )
+        assert result.complete
+
+    def test_zero_cycles_matches_frozen_semantics(
+        self, warm_ringcast_population, rng
+    ):
+        result = disseminate_live(
+            warm_ringcast_population, fanout=3, origin=1, rng=rng,
+            cycles_per_hop=0,
+        )
+        assert result.complete
+
+    def test_accounting_identity(self, warm_ringcast_population, rng):
+        result = disseminate_live(
+            warm_ringcast_population, fanout=4, origin=2, rng=rng
+        )
+        assert (
+            result.total_messages
+            == result.msgs_virgin + result.msgs_redundant + result.msgs_to_dead
+        )
+        assert sum(result.per_hop_new) == result.notified
+
+    def test_validation(self, warm_ringcast_population, rng):
+        with pytest.raises(ConfigurationError):
+            disseminate_live(
+                warm_ringcast_population, fanout=0, origin=0, rng=rng
+            )
+        with pytest.raises(ConfigurationError):
+            disseminate_live(
+                warm_ringcast_population,
+                fanout=2,
+                origin=0,
+                rng=rng,
+                cycles_per_hop=-1,
+            )
+        with pytest.raises(SimulationError):
+            disseminate_live(
+                warm_ringcast_population, fanout=2, origin=10**9, rng=rng
+            )
+
+    def test_under_churn_nodes_may_die_mid_flight(self, rng):
+        population = build_warm_population(
+            "ringcast", num_nodes=100, seed=9
+        )
+        churn = ArtificialChurn(
+            rate=0.05, node_factory=population.node_factory
+        )
+        population.driver.churn = churn
+        origin = population.network.alive_ids()[0]
+        result = disseminate_live(
+            population, fanout=3, origin=origin, rng=rng, cycles_per_hop=1
+        )
+        # The denominator only counts nodes alive at start and end.
+        assert 0 < result.population <= 100
+        assert result.hit_ratio > 0.8

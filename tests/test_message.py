@@ -1,0 +1,31 @@
+"""Tests for the Message value object."""
+
+from repro.dissemination.message import Message
+
+
+class TestMessage:
+    def test_unique_ids(self):
+        a = Message(origin=1)
+        b = Message(origin=1)
+        assert a.message_id != b.message_id
+
+    def test_frozen(self):
+        import pytest
+
+        message = Message(origin=1)
+        with pytest.raises(AttributeError):
+            message.origin = 2
+
+    def test_topic_default_none(self):
+        assert Message(origin=1).topic is None
+
+    def test_str_includes_topic(self):
+        message = Message(origin=3, topic="alerts")
+        assert "alerts" in str(message)
+        assert "origin=3" in str(message)
+
+    def test_str_without_topic(self):
+        assert "topic" not in str(Message(origin=3))
+
+    def test_payload_carried(self):
+        assert Message(origin=0, payload={"k": 1}).payload == {"k": 1}

@@ -1,0 +1,167 @@
+"""Tests for metric aggregation: effectiveness, progress, load."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.dissemination.executor import DisseminationResult
+from repro.metrics.aggregate import mean, percentile, stddev
+from repro.metrics.dissemination import (
+    aggregate_progress,
+    summarize_runs,
+)
+from repro.metrics.load import LoadStats, jain_fairness
+
+
+def result(
+    notified=10,
+    population=10,
+    hops=3,
+    virgin=9,
+    redundant=5,
+    to_dead=0,
+    per_hop=(1, 4, 5),
+):
+    return DisseminationResult(
+        origin=0,
+        fanout=3,
+        population=population,
+        notified=notified,
+        hops=hops,
+        per_hop_new=per_hop,
+        msgs_virgin=virgin,
+        msgs_redundant=redundant,
+        msgs_to_dead=to_dead,
+        missed_ids=(),
+    )
+
+
+class TestAggregateHelpers:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+        assert mean([]) == 0.0
+
+    def test_stddev(self):
+        assert stddev([2.0, 2.0, 2.0]) == 0.0
+        assert stddev([1.0]) == 0.0
+        assert stddev([0.0, 2.0]) == pytest.approx(1.0)
+
+    def test_percentile_median(self):
+        assert percentile([1, 2, 3, 4], 50) == 2.5
+
+    def test_percentile_extremes(self):
+        assert percentile([5, 1, 9], 0) == 1
+        assert percentile([5, 1, 9], 100) == 9
+
+    def test_percentile_single(self):
+        assert percentile([4], 75) == 4
+
+    def test_percentile_empty(self):
+        assert percentile([], 50) == 0.0
+
+    def test_percentile_validation(self):
+        with pytest.raises(ConfigurationError):
+            percentile([1], 101)
+
+
+class TestSummarizeRuns:
+    def test_empty(self):
+        stats = summarize_runs([])
+        assert stats.runs == 0
+        assert stats.mean_miss_ratio == 0.0
+
+    def test_mean_miss_ratio(self):
+        stats = summarize_runs(
+            [result(notified=10), result(notified=8)]
+        )
+        assert stats.mean_miss_ratio == pytest.approx(0.1)
+        assert stats.mean_miss_percent == pytest.approx(10.0)
+
+    def test_complete_fraction(self):
+        stats = summarize_runs(
+            [result(notified=10), result(notified=10), result(notified=9)]
+        )
+        assert stats.complete_fraction == pytest.approx(2 / 3)
+        assert stats.complete_percent == pytest.approx(200 / 3)
+
+    def test_hops(self):
+        stats = summarize_runs([result(hops=3), result(hops=7)])
+        assert stats.mean_hops == 5.0
+        assert stats.max_hops == 7
+
+    def test_message_means(self):
+        stats = summarize_runs(
+            [
+                result(virgin=9, redundant=5, to_dead=1),
+                result(virgin=9, redundant=7, to_dead=3),
+            ]
+        )
+        assert stats.mean_msgs_virgin == 9.0
+        assert stats.mean_msgs_redundant == 6.0
+        assert stats.mean_msgs_to_dead == 2.0
+        assert stats.mean_total_messages == 17.0
+
+
+class TestAggregateProgress:
+    def test_single_run_envelope(self):
+        means, best, worst = aggregate_progress(
+            [result(per_hop=(1, 4, 5), population=10, notified=10)]
+        )
+        assert means == [90.0, 50.0, 0.0]
+        assert best == means
+        assert worst == means
+
+    def test_pads_shorter_runs_with_final_value(self):
+        short = result(
+            per_hop=(1, 9), population=10, notified=10, hops=1
+        )
+        long = result(
+            per_hop=(1, 4, 5), population=10, notified=10, hops=2
+        )
+        means, best, worst = aggregate_progress([short, long])
+        assert len(means) == 3
+        assert means[2] == 0.0
+        # After hop 1, the short run is done (0%), the long at 50%.
+        assert means[1] == 25.0
+        assert best[1] == 0.0
+        assert worst[1] == 50.0
+
+    def test_empty(self):
+        assert aggregate_progress([]) == ([], [], [])
+
+
+class TestJainFairness:
+    def test_perfectly_even(self):
+        assert jain_fairness([5, 5, 5, 5]) == 1.0
+
+    def test_single_loaded_node(self):
+        assert jain_fairness([10, 0, 0, 0]) == pytest.approx(0.25)
+
+    def test_empty_and_zero(self):
+        assert jain_fairness([]) == 1.0
+        assert jain_fairness([0, 0]) == 1.0
+
+
+class TestLoadStats:
+    def test_from_counters_fills_zeros(self):
+        stats = LoadStats.from_counters({1: 4, 2: 4}, population=[1, 2, 3])
+        assert stats.nodes == 3
+        assert stats.min_load == 0.0
+        assert stats.mean_load == pytest.approx(8 / 3)
+
+    def test_uniform_load_fairness(self):
+        stats = LoadStats.from_counters(
+            {i: 7 for i in range(10)}, population=list(range(10))
+        )
+        assert stats.fairness == pytest.approx(1.0)
+        assert stats.stddev_load == 0.0
+
+    def test_empty_population(self):
+        stats = LoadStats.from_counters({}, population=[])
+        assert stats.nodes == 0
+        assert stats.fairness == 1.0
+
+    def test_percentile_field(self):
+        stats = LoadStats.from_counters(
+            {i: i for i in range(100)}, population=list(range(100))
+        )
+        assert stats.p99_load == pytest.approx(98.01)

@@ -1,0 +1,164 @@
+"""Tests for nodes, profiles, and the simulated network registry."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError, SimulationError
+from repro.sim.network import Network
+from repro.sim.node import RING_ID_SPACE, Node, NodeProfile
+
+
+@pytest.fixture
+def network(rng):
+    return Network(rng)
+
+
+class TestNodeProfile:
+    def test_requires_ring_id(self):
+        with pytest.raises(ConfigurationError):
+            NodeProfile(ring_ids=())
+
+    def test_ring_id_bounds(self):
+        with pytest.raises(ConfigurationError):
+            NodeProfile(ring_ids=(RING_ID_SPACE,))
+        with pytest.raises(ConfigurationError):
+            NodeProfile(ring_ids=(-1,))
+
+    def test_primary_ring_id(self):
+        profile = NodeProfile(ring_ids=(5, 9))
+        assert profile.ring_id == 5
+
+    def test_domain_key_with_domain(self):
+        profile = NodeProfile(ring_ids=(3,), domain="com.example.d001")
+        assert profile.domain_key() == ("com.example.d001", 3)
+
+    def test_domain_key_without_domain(self):
+        assert NodeProfile(ring_ids=(3,)).domain_key() == ("", 3)
+
+    def test_frozen(self):
+        profile = NodeProfile(ring_ids=(3,))
+        with pytest.raises(AttributeError):
+            profile.ring_ids = (4,)
+
+
+class TestNode:
+    def _node(self, node_id=0):
+        return Node(node_id, NodeProfile(ring_ids=(7,)))
+
+    def test_starts_alive(self):
+        assert self._node().alive
+
+    def test_kill_records_cycle(self):
+        node = self._node()
+        node.kill(12)
+        assert not node.alive
+        assert node.death_cycle == 12
+
+    def test_kill_idempotent(self):
+        node = self._node()
+        node.kill(12)
+        node.kill(99)
+        assert node.death_cycle == 12
+
+    def test_lifetime(self):
+        node = Node(0, NodeProfile(ring_ids=(1,)), join_cycle=10)
+        assert node.lifetime(25) == 15
+
+    def test_attach_and_lookup_protocol(self):
+        node = self._node()
+        marker = object()
+        node.attach("cyclon", marker)
+        assert node.protocol("cyclon") is marker
+
+    def test_attach_duplicate_rejected(self):
+        node = self._node()
+        node.attach("cyclon", object())
+        with pytest.raises(SimulationError):
+            node.attach("cyclon", object())
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(SimulationError):
+            self._node().protocol("vicinity")
+
+
+class TestNetwork:
+    def test_create_assigns_sequential_ids(self, network):
+        nodes = network.populate(5)
+        assert [n.node_id for n in nodes] == [0, 1, 2, 3, 4]
+
+    def test_ring_ids_unique(self, network):
+        nodes = network.populate(200)
+        ring_ids = [n.profile.ring_id for n in nodes]
+        assert len(set(ring_ids)) == len(ring_ids)
+
+    def test_multi_ring_profiles(self, network):
+        node = network.create_node(num_rings=3)
+        assert len(node.profile.ring_ids) == 3
+
+    def test_num_rings_validation(self, network):
+        with pytest.raises(ConfigurationError):
+            network.create_node(num_rings=0)
+
+    def test_size_tracks_alive_only(self, network):
+        network.populate(4)
+        network.kill_node(2)
+        assert network.size == 3
+        assert network.total_created == 4
+
+    def test_kill_unknown_node(self, network):
+        with pytest.raises(SimulationError):
+            network.kill_node(404)
+
+    def test_double_kill_rejected(self, network):
+        network.populate(3)
+        network.kill_node(1)
+        with pytest.raises(SimulationError):
+            network.kill_node(1)
+
+    def test_dead_node_still_reachable_for_stats(self, network):
+        network.populate(3)
+        network.kill_node(1)
+        assert network.node(1).death_cycle == 0
+        assert not network.is_alive(1)
+
+    def test_alive_ids_excludes_dead(self, network):
+        network.populate(4)
+        network.kill_node(0)
+        assert network.alive_ids() == [1, 2, 3]
+
+    def test_random_alive_id_respects_exclude(self, network, rng):
+        network.populate(3)
+        picks = {
+            network.random_alive_id(rng, exclude=0) for _ in range(30)
+        }
+        assert 0 not in picks
+        assert picks <= {1, 2}
+
+    def test_random_alive_id_empty_pool(self, rng):
+        network = Network(rng)
+        network.populate(1)
+        with pytest.raises(SimulationError):
+            network.random_alive_id(rng, exclude=0)
+
+    def test_sorted_ring_is_ground_truth(self, network):
+        network.populate(50)
+        ring = network.sorted_ring()
+        ring_ids = [network.node(i).profile.ring_id for i in ring]
+        assert ring_ids == sorted(ring_ids)
+
+    def test_sorted_ring_excludes_dead(self, network):
+        network.populate(10)
+        network.kill_node(4)
+        assert 4 not in network.sorted_ring()
+
+    def test_gossip_accounting(self, network):
+        network.record_gossip(5)
+        network.record_gossip(3)
+        network.record_failed_contact()
+        assert network.gossip_messages == 2
+        assert network.gossip_entries_shipped == 8
+        assert network.failed_contacts == 1
+
+    def test_join_cycle_defaults_to_current(self, network):
+        network.current_cycle = 7
+        node = network.create_node()
+        assert node.join_cycle == 7

@@ -1,0 +1,185 @@
+"""Tests for gossip target selection policies (the protocol cores)."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.dissemination.policies import (
+    FloodingPolicy,
+    RandCastPolicy,
+    RingCastPolicy,
+    policy_for_snapshot,
+)
+from repro.dissemination.snapshot import OverlaySnapshot
+
+
+def snapshot_with(rlinks, dlinks, kind="ringcast"):
+    nodes = set(rlinks) | set(dlinks)
+    for links in list(rlinks.values()) + list(dlinks.values()):
+        nodes.update(links)
+    return OverlaySnapshot(
+        kind=kind,
+        rlinks={n: tuple(rlinks.get(n, ())) for n in nodes},
+        dlinks={n: tuple(dlinks.get(n, ())) for n in nodes},
+        alive_ids=tuple(sorted(nodes)),
+    )
+
+
+class TestFloodingPolicy:
+    def test_forwards_on_all_links(self, rng):
+        snapshot = snapshot_with({0: (1, 2)}, {0: (3, 4)}, kind="flooding")
+        targets = FloodingPolicy().select_targets(snapshot, 0, None, 1, rng)
+        assert set(targets) == {1, 2, 3, 4}
+
+    def test_excludes_sender(self, rng):
+        snapshot = snapshot_with({0: (1, 2)}, {0: (3,)}, kind="flooding")
+        targets = FloodingPolicy().select_targets(snapshot, 0, 2, 1, rng)
+        assert set(targets) == {1, 3}
+
+    def test_ignores_fanout(self, rng):
+        snapshot = snapshot_with(
+            {0: (1, 2, 3, 4, 5)}, {}, kind="flooding"
+        )
+        targets = FloodingPolicy().select_targets(snapshot, 0, None, 1, rng)
+        assert len(targets) == 5
+
+
+class TestRandCastPolicy:
+    def _snapshot(self):
+        return snapshot_with(
+            {0: (1, 2, 3, 4, 5, 6, 7, 8)}, {}, kind="randcast"
+        )
+
+    def test_selects_fanout_targets(self, rng):
+        targets = RandCastPolicy().select_targets(
+            self._snapshot(), 0, None, 3, rng
+        )
+        assert len(targets) == 3
+
+    def test_targets_from_rlinks_only(self, rng):
+        snapshot = self._snapshot()
+        for _ in range(20):
+            targets = RandCastPolicy().select_targets(
+                snapshot, 0, None, 4, rng
+            )
+            assert set(targets) <= set(snapshot.rlinks[0])
+
+    def test_never_sender(self, rng):
+        snapshot = self._snapshot()
+        for _ in range(30):
+            targets = RandCastPolicy().select_targets(snapshot, 0, 3, 5, rng)
+            assert 3 not in targets
+
+    def test_no_duplicates(self, rng):
+        for _ in range(20):
+            targets = RandCastPolicy().select_targets(
+                self._snapshot(), 0, None, 6, rng
+            )
+            assert len(set(targets)) == len(targets)
+
+    def test_up_to_fanout_when_view_small(self, rng):
+        snapshot = snapshot_with({0: (1, 2)}, {}, kind="randcast")
+        targets = RandCastPolicy().select_targets(snapshot, 0, None, 9, rng)
+        assert set(targets) == {1, 2}
+
+    def test_all_view_members_reachable(self, rng):
+        snapshot = self._snapshot()
+        seen = set()
+        for _ in range(300):
+            seen.update(
+                RandCastPolicy().select_targets(snapshot, 0, None, 2, rng)
+            )
+        assert seen == set(snapshot.rlinks[0])
+
+
+class TestRingCastPolicy:
+    def _snapshot(self):
+        return snapshot_with(
+            {0: (3, 4, 5, 6, 7, 8)},
+            {0: (1, 2)},
+        )
+
+    def test_ring_neighbors_always_included(self, rng):
+        for _ in range(20):
+            targets = RingCastPolicy().select_targets(
+                self._snapshot(), 0, None, 4, rng
+            )
+            assert 1 in targets and 2 in targets
+            assert len(targets) == 4
+
+    def test_received_from_neighbor_forwards_to_other(self, rng):
+        targets = RingCastPolicy().select_targets(
+            self._snapshot(), 0, 1, 4, rng
+        )
+        assert 1 not in targets
+        assert 2 in targets
+        assert len(targets) == 4
+
+    def test_fanout_one_still_sends_to_both_neighbors(self, rng):
+        # Fig. 5 adds both d-links unconditionally: F=1 sends 2 messages.
+        targets = RingCastPolicy().select_targets(
+            self._snapshot(), 0, None, 1, rng
+        )
+        assert set(targets) == {1, 2}
+
+    def test_fanout_two_is_pure_ring(self, rng):
+        targets = RingCastPolicy().select_targets(
+            self._snapshot(), 0, None, 2, rng
+        )
+        assert set(targets) == {1, 2}
+
+    def test_random_fill_excludes_chosen_dlinks(self, rng):
+        snapshot = snapshot_with(
+            {0: (1, 2, 3, 4)},  # ring neighbors also appear as r-links
+            {0: (1, 2)},
+        )
+        for _ in range(30):
+            targets = RingCastPolicy().select_targets(
+                snapshot, 0, None, 4, rng
+            )
+            assert len(targets) == 4
+            assert len(set(targets)) == 4
+
+    def test_exactly_fanout_targets_when_possible(self, rng):
+        for fanout in (2, 3, 4, 5):
+            targets = RingCastPolicy().select_targets(
+                self._snapshot(), 0, None, fanout, rng
+            )
+            assert len(targets) == fanout
+
+    def test_multiring_dlinks_all_forwarded(self, rng):
+        snapshot = snapshot_with(
+            {0: (9, 10, 11)},
+            {0: (1, 2, 3, 4)},
+            kind="multiring",
+        )
+        targets = RingCastPolicy().select_targets(snapshot, 0, None, 2, rng)
+        assert set(targets) >= {1, 2, 3, 4}
+
+    def test_node_with_no_dlinks_degrades_to_random(self, rng):
+        snapshot = snapshot_with({0: (5, 6, 7)}, {0: ()})
+        targets = RingCastPolicy().select_targets(snapshot, 0, None, 2, rng)
+        assert len(targets) == 2
+        assert set(targets) <= {5, 6, 7}
+
+
+class TestPolicyForSnapshot:
+    @pytest.mark.parametrize(
+        "kind,expected",
+        [
+            ("randcast", RandCastPolicy),
+            ("ringcast", RingCastPolicy),
+            ("multiring", RingCastPolicy),
+            ("hararycast", RingCastPolicy),
+            ("domain_ring", RingCastPolicy),
+            ("flooding", FloodingPolicy),
+        ],
+    )
+    def test_default_policies(self, kind, expected):
+        snapshot = snapshot_with({0: (1,)}, {0: (1,)}, kind=kind)
+        assert isinstance(policy_for_snapshot(snapshot), expected)
+
+    def test_unknown_kind_rejected(self):
+        snapshot = snapshot_with({0: (1,)}, {}, kind="ringcast")
+        object.__setattr__(snapshot, "kind", "mystery")
+        with pytest.raises(ConfigurationError):
+            policy_for_snapshot(snapshot)

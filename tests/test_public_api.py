@@ -1,0 +1,86 @@
+"""Tests for the package's public surface: exports, doctests, metadata.
+
+A downstream user's first contact is ``import repro`` and the README
+snippets; these tests keep that contract stable.
+"""
+
+import doctest
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestTopLevelExports:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    @pytest.mark.parametrize(
+        "module_name",
+        [
+            "repro.common",
+            "repro.sim",
+            "repro.graphs",
+            "repro.membership",
+            "repro.dissemination",
+            "repro.failures",
+            "repro.metrics",
+            "repro.experiments",
+            "repro.extensions",
+            "repro.pubsub",
+        ],
+    )
+    def test_subpackage_all_exports_resolve(self, module_name):
+        module = importlib.import_module(module_name)
+        assert hasattr(module, "__all__")
+        for name in module.__all__:
+            assert hasattr(module, name), f"{module_name}.{name}"
+
+
+class TestDoctests:
+    @pytest.mark.parametrize(
+        "module_name",
+        [
+            "repro.common.rng",
+            "repro.sim.clock",
+            "repro.sim.events",
+            "repro.sim.engine",
+            "repro.membership.ring_ids",
+            "repro.metrics.aggregate",
+            "repro.metrics.load",
+            "repro.graphs.generators",
+        ],
+    )
+    def test_module_doctests_pass(self, module_name):
+        module = importlib.import_module(module_name)
+        failures, tested = doctest.testmod(
+            module, verbose=False
+        ).failed, doctest.testmod(module, verbose=False).attempted
+        assert failures == 0
+        assert tested > 0
+
+
+class TestReadmeContract:
+    """The README's quickstart snippet, executed verbatim-ish."""
+
+    def test_quickstart_snippet(self):
+        from repro import build_overlay, disseminate
+
+        snapshot = build_overlay(
+            num_nodes=120, protocol="ringcast", seed=7, warmup_cycles=50
+        )
+        result = disseminate(snapshot, fanout=3, seed=1)
+        assert result.hit_ratio == 1.0
+        assert result.total_messages == 3 * 120
+
+    def test_docstring_example_in_package(self):
+        # The module docstring promises hit_ratio 1.0 for this config.
+        snapshot = repro.build_overlay(
+            num_nodes=200, protocol="ringcast", seed=1, warmup_cycles=60
+        )
+        assert repro.disseminate(snapshot, fanout=3, seed=2).hit_ratio == 1.0

@@ -1,0 +1,132 @@
+"""Tests for topic-based publish/subscribe (paper §8)."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.pubsub import PubSubSystem
+
+
+@pytest.fixture
+def system():
+    return PubSubSystem(seed=5)
+
+
+def fill_topic(system, topic, count, prefix="client"):
+    names = [f"{prefix}-{i}" for i in range(count)]
+    for name in names:
+        system.subscribe(topic, name)
+    return names
+
+
+class TestTopicManagement:
+    def test_create_and_list(self, system):
+        system.create_topic("alerts")
+        system.create_topic("patches")
+        assert system.topics() == ["alerts", "patches"]
+
+    def test_duplicate_topic_rejected(self, system):
+        system.create_topic("alerts")
+        with pytest.raises(ConfigurationError):
+            system.create_topic("alerts")
+
+    def test_unknown_topic_rejected(self, system):
+        with pytest.raises(ConfigurationError):
+            system.subscribe("nope", "client-1")
+
+
+class TestSubscription:
+    def test_subscribe_and_query(self, system):
+        system.create_topic("alerts")
+        names = fill_topic(system, "alerts", 5)
+        assert system.subscribers("alerts") == set(names)
+
+    def test_double_subscribe_rejected(self, system):
+        system.create_topic("alerts")
+        system.subscribe("alerts", "client-0")
+        with pytest.raises(ConfigurationError):
+            system.subscribe("alerts", "client-0")
+
+    def test_unsubscribe(self, system):
+        system.create_topic("alerts")
+        fill_topic(system, "alerts", 4)
+        system.unsubscribe("alerts", "client-2")
+        assert "client-2" not in system.subscribers("alerts")
+
+    def test_unsubscribe_unknown_rejected(self, system):
+        system.create_topic("alerts")
+        with pytest.raises(ConfigurationError):
+            system.unsubscribe("alerts", "ghost")
+
+    def test_topics_are_isolated(self, system):
+        system.create_topic("a")
+        system.create_topic("b")
+        system.subscribe("a", "client-0")
+        assert system.subscribers("b") == set()
+
+
+class TestPublish:
+    def test_complete_delivery_on_stabilized_ringcast_topic(self, system):
+        system.create_topic("alerts", protocol="ringcast")
+        names = fill_topic(system, "alerts", 40)
+        system.stabilize("alerts", cycles=60)
+        report = system.publish(
+            "alerts", payload="patch", publisher="client-0", fanout=3
+        )
+        assert report.delivery_ratio == 1.0
+        assert set(report.delivered_to) == set(names)
+        assert report.missed == ()
+        assert report.message.topic == "alerts"
+
+    def test_randcast_topic_works(self, system):
+        system.create_topic("news", protocol="randcast")
+        fill_topic(system, "news", 30)
+        system.stabilize("news", cycles=60)
+        report = system.publish(
+            "news", payload=1, publisher="client-1", fanout=6
+        )
+        assert report.delivery_ratio > 0.9
+
+    def test_publisher_must_subscribe(self, system):
+        system.create_topic("alerts")
+        fill_topic(system, "alerts", 3)
+        with pytest.raises(ConfigurationError):
+            system.publish("alerts", payload=0, publisher="outsider")
+
+    def test_unsubscribed_nodes_not_delivered(self, system):
+        system.create_topic("alerts")
+        fill_topic(system, "alerts", 20)
+        system.stabilize("alerts", cycles=40)
+        system.unsubscribe("alerts", "client-5")
+        system.stabilize("alerts", cycles=20)
+        report = system.publish(
+            "alerts", payload="x", publisher="client-0", fanout=3
+        )
+        assert "client-5" not in report.delivered_to
+        assert "client-5" not in report.missed
+
+    def test_events_across_topics_independent(self, system):
+        system.create_topic("a", protocol="ringcast")
+        system.create_topic("b", protocol="ringcast")
+        fill_topic(system, "a", 10, prefix="alpha")
+        fill_topic(system, "b", 10, prefix="beta")
+        system.stabilize("a", cycles=40)
+        system.stabilize("b", cycles=40)
+        report = system.publish("a", payload=0, publisher="alpha-0")
+        assert all(name.startswith("alpha") for name in report.delivered_to)
+
+    def test_report_counts_messages_and_hops(self, system):
+        system.create_topic("alerts")
+        fill_topic(system, "alerts", 25)
+        system.stabilize("alerts", cycles=50)
+        report = system.publish(
+            "alerts", payload="x", publisher="client-0", fanout=2
+        )
+        assert report.messages_sent > 0
+        assert report.hops >= 1
+
+    def test_single_subscriber_topic(self, system):
+        system.create_topic("solo")
+        system.subscribe("solo", "only")
+        report = system.publish("solo", payload="x", publisher="only")
+        assert report.delivery_ratio == 1.0
+        assert report.delivered_to == ("only",)

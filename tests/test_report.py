@@ -1,0 +1,173 @@
+"""Tests for ASCII report rendering and .dat output."""
+
+from repro.experiments.figures import (
+    EffectivenessFigure,
+    LifetimeFigure,
+    MessageFigure,
+    MissLifetimeFigure,
+    ProgressFigure,
+)
+from repro.experiments.report import (
+    render_effectiveness,
+    render_lifetimes,
+    render_messages,
+    render_miss_lifetimes,
+    render_progress,
+    write_dat,
+)
+from repro.metrics.dissemination import EffectivenessStats
+
+
+def stats(miss=0.1, complete=0.5):
+    return EffectivenessStats(
+        runs=10,
+        mean_miss_ratio=miss,
+        complete_fraction=complete,
+        mean_hops=5.0,
+        max_hops=8,
+        mean_msgs_virgin=100.0,
+        mean_msgs_redundant=50.0,
+        mean_msgs_to_dead=0.0,
+        mean_total_messages=150.0,
+    )
+
+
+def effectiveness_figure():
+    return EffectivenessFigure(
+        label="fig6",
+        fanouts=(1, 2),
+        stats={
+            "randcast": {1: stats(0.5, 0.0), 2: stats(0.1, 0.2)},
+            "ringcast": {1: stats(0.0, 1.0), 2: stats(0.0, 1.0)},
+        },
+    )
+
+
+class TestRenderEffectiveness:
+    def test_contains_label_and_columns(self):
+        text = render_effectiveness(effectiveness_figure())
+        assert "[fig6]" in text
+        assert "randcast miss%" in text
+        assert "ringcast compl%" in text
+
+    def test_one_row_per_fanout(self):
+        text = render_effectiveness(effectiveness_figure())
+        body = text.splitlines()[3:]
+        assert len(body) == 2
+
+    def test_values_rendered(self):
+        text = render_effectiveness(effectiveness_figure())
+        assert "50" in text  # 50% miss
+        assert "100" in text  # 100% complete
+
+
+class TestRenderProgress:
+    def test_blocks_per_fanout(self):
+        figure = ProgressFigure(
+            label="fig7",
+            fanouts=(2, 3),
+            mean_series={
+                "randcast": {2: [90.0, 10.0, 1.0], 3: [90.0, 0.0]},
+                "ringcast": {2: [90.0, 5.0, 0.0], 3: [90.0, 0.0]},
+            },
+            worst_series={
+                "randcast": {2: [], 3: []},
+                "ringcast": {2: [], 3: []},
+            },
+        )
+        text = render_progress(figure)
+        assert "fanout 2:" in text
+        assert "fanout 3:" in text
+
+    def test_uneven_series_padded(self):
+        figure = ProgressFigure(
+            label="fig7",
+            fanouts=(2,),
+            mean_series={
+                "randcast": {2: [90.0, 10.0, 1.0, 1.0]},
+                "ringcast": {2: [90.0, 0.0]},
+            },
+            worst_series={"randcast": {2: []}, "ringcast": {2: []}},
+        )
+        text = render_progress(figure)
+        assert text.count("\n") >= 6
+
+
+class TestRenderMessages:
+    def test_columns(self):
+        figure = MessageFigure(
+            label="fig8",
+            fanouts=(1, 2),
+            virgin={"randcast": [99.0, 99.0], "ringcast": [99.0, 99.0]},
+            redundant={"randcast": [0.0, 99.0], "ringcast": [1.0, 99.0]},
+            to_dead={"randcast": [0.0, 0.0], "ringcast": [0.0, 0.0]},
+        )
+        text = render_messages(figure)
+        assert "rand total" in text
+        assert "ring total" in text
+        assert "198" in text
+
+
+class TestRenderLifetimes:
+    def test_small_series_verbatim(self):
+        figure = LifetimeFigure(
+            label="fig12", series=((1, 5), (2, 3)), churn_cycles=(100,)
+        )
+        text = render_lifetimes(figure)
+        assert "[fig12]" in text
+        assert "100" in text
+
+    def test_long_series_bucketed(self):
+        series = tuple((i, 1) for i in range(1, 200))
+        figure = LifetimeFigure(
+            label="fig12", series=series, churn_cycles=(100,)
+        )
+        text = render_lifetimes(figure, max_rows=20)
+        assert "[1,2)" in text
+        assert "[128,256)" in text
+
+
+class TestRenderMissLifetimes:
+    def test_renders_both_protocols(self):
+        figure = MissLifetimeFigure(
+            label="fig13",
+            fanouts=(3,),
+            series={
+                "randcast": {3: ((1, 4), (40, 2))},
+                "ringcast": {3: ((1, 9),)},
+            },
+        )
+        text = render_miss_lifetimes(figure)
+        assert "randcast missed" in text
+        assert "ringcast missed" in text
+        assert "[32,64)" in text
+
+    def test_empty_series_ok(self):
+        figure = MissLifetimeFigure(
+            label="fig13",
+            fanouts=(3,),
+            series={"randcast": {3: ()}, "ringcast": {3: ()}},
+        )
+        text = render_miss_lifetimes(figure)
+        assert "fanout 3:" in text
+
+
+class TestWriteDat:
+    def test_writes_header_and_rows(self, tmp_path):
+        target = write_dat(
+            tmp_path / "out" / "fig.dat",
+            ["fanout", "miss"],
+            [[1, 0.5], [2, 0.25]],
+        )
+        content = target.read_text()
+        assert content.startswith("# fanout miss")
+        assert "1 0.5" in content
+        assert "2 0.25" in content
+
+    def test_creates_parent_dirs(self, tmp_path):
+        target = write_dat(tmp_path / "a" / "b" / "c.dat", ["x"], [[1]])
+        assert target.exists()
+
+    def test_small_floats_scientific(self, tmp_path):
+        target = write_dat(tmp_path / "f.dat", ["v"], [[0.0001]])
+        assert "e-04" in target.read_text()

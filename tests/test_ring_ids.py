@@ -1,0 +1,179 @@
+"""Tests for ring identity space and proximity selection."""
+
+import pytest
+
+from repro.membership.ring_ids import (
+    OrderedRingProximity,
+    RingProximity,
+    circular_distance,
+    clockwise_distance,
+)
+from repro.membership.views import NodeDescriptor
+from repro.sim.node import NodeProfile
+
+
+def descriptor(node_id, ring_id, domain=None):
+    return NodeDescriptor(
+        node_id, 0, NodeProfile(ring_ids=(ring_id,), domain=domain)
+    )
+
+
+def multi_descriptor(node_id, ring_ids):
+    return NodeDescriptor(node_id, 0, NodeProfile(ring_ids=ring_ids))
+
+
+class TestDistances:
+    def test_clockwise(self):
+        assert clockwise_distance(10, 12, space=16) == 2
+        assert clockwise_distance(12, 10, space=16) == 14
+        assert clockwise_distance(5, 5, space=16) == 0
+
+    def test_circular_symmetric(self):
+        assert circular_distance(1, 15, space=16) == 2
+        assert circular_distance(15, 1, space=16) == 2
+
+    def test_circular_max_is_half_space(self):
+        assert circular_distance(0, 8, space=16) == 8
+
+    def test_circular_zero(self):
+        assert circular_distance(3, 3) == 0
+
+
+class TestRingProximity:
+    def test_distance_uses_ring_index(self):
+        proximity = RingProximity(ring_index=1, space=100)
+        a = NodeProfile(ring_ids=(0, 10))
+        b = NodeProfile(ring_ids=(50, 13))
+        assert proximity.distance(a, b) == 3
+
+    def test_select_keeps_closest(self):
+        proximity = RingProximity(space=100)
+        me = NodeProfile(ring_ids=(50,))
+        candidates = [descriptor(i, rid) for i, rid in enumerate([10, 48, 52, 90, 60])]
+        chosen = proximity.select(me, candidates, 2)
+        assert sorted(d.profile.ring_id for d in chosen) == [48, 52]
+
+    def test_select_handles_wraparound(self):
+        proximity = RingProximity(space=100)
+        me = NodeProfile(ring_ids=(2,))
+        candidates = [descriptor(0, 95), descriptor(1, 40)]
+        chosen = proximity.select(me, candidates, 1)
+        assert chosen[0].profile.ring_id == 95
+
+    def test_ring_neighbors_basic(self):
+        proximity = RingProximity(space=100)
+        me = NodeProfile(ring_ids=(50,))
+        candidates = [
+            descriptor(1, 55),
+            descriptor(2, 70),
+            descriptor(3, 45),
+            descriptor(4, 20),
+        ]
+        successor, predecessor = proximity.ring_neighbors(me, candidates)
+        assert successor == 1
+        assert predecessor == 3
+
+    def test_ring_neighbors_wraparound(self):
+        proximity = RingProximity(space=100)
+        me = NodeProfile(ring_ids=(95,))
+        candidates = [descriptor(1, 5), descriptor(2, 80)]
+        successor, predecessor = proximity.ring_neighbors(me, candidates)
+        assert successor == 1
+        assert predecessor == 2
+
+    def test_single_candidate_fills_both_roles(self):
+        proximity = RingProximity(space=100)
+        me = NodeProfile(ring_ids=(10,))
+        successor, predecessor = proximity.ring_neighbors(
+            me, [descriptor(4, 60)]
+        )
+        assert successor == 4
+        assert predecessor == 4
+
+    def test_no_candidates(self):
+        proximity = RingProximity()
+        me = NodeProfile(ring_ids=(10,))
+        assert proximity.ring_neighbors(me, []) == (None, None)
+
+    def test_rejects_negative_index(self):
+        from repro.common.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            RingProximity(ring_index=-1)
+
+    def test_multiring_indices_independent(self):
+        prox0 = RingProximity(ring_index=0, space=100)
+        prox1 = RingProximity(ring_index=1, space=100)
+        me = NodeProfile(ring_ids=(10, 80))
+        candidates = [
+            multi_descriptor(1, (12, 40)),
+            multi_descriptor(2, (60, 82)),
+        ]
+        assert prox0.ring_neighbors(me, candidates)[0] == 1
+        assert prox1.ring_neighbors(me, candidates)[0] == 2
+
+
+class TestOrderedRingProximity:
+    def _candidates(self):
+        return [
+            descriptor(1, 10, domain="com.a"),
+            descriptor(2, 20, domain="com.b"),
+            descriptor(3, 30, domain="com.c"),
+            descriptor(4, 40, domain="com.d"),
+        ]
+
+    def test_neighbors_in_key_order(self):
+        proximity = OrderedRingProximity()
+        me = NodeProfile(ring_ids=(25,), domain="com.b2")
+        successor, predecessor = proximity.ring_neighbors(
+            me, self._candidates()
+        )
+        assert successor == 3  # com.c is next above com.b2
+        assert predecessor == 2  # com.b is next below
+
+    def test_neighbors_wrap_around(self):
+        proximity = OrderedRingProximity()
+        me = NodeProfile(ring_ids=(99,), domain="com.z")
+        successor, predecessor = proximity.ring_neighbors(
+            me, self._candidates()
+        )
+        assert successor == 1  # wraps to the lowest key
+        assert predecessor == 4
+
+    def test_neighbors_wrap_below(self):
+        proximity = OrderedRingProximity()
+        me = NodeProfile(ring_ids=(1,), domain="com.0")
+        successor, predecessor = proximity.ring_neighbors(
+            me, self._candidates()
+        )
+        assert successor == 1
+        assert predecessor == 4  # wraps to the highest key
+
+    def test_select_balances_sides(self):
+        proximity = OrderedRingProximity()
+        me = NodeProfile(ring_ids=(25,), domain="com.b2")
+        chosen = proximity.select(me, self._candidates(), 4)
+        assert {d.node_id for d in chosen} == {1, 2, 3, 4}
+
+    def test_select_small_count(self):
+        proximity = OrderedRingProximity()
+        me = NodeProfile(ring_ids=(25,), domain="com.b2")
+        chosen = proximity.select(me, self._candidates(), 2)
+        assert {d.node_id for d in chosen} == {3, 2}
+
+    def test_select_empty(self):
+        proximity = OrderedRingProximity()
+        me = NodeProfile(ring_ids=(25,), domain="com.b2")
+        assert proximity.select(me, [], 3) == []
+        assert proximity.select(me, self._candidates(), 0) == []
+
+    def test_no_candidates(self):
+        proximity = OrderedRingProximity()
+        me = NodeProfile(ring_ids=(25,))
+        assert proximity.ring_neighbors(me, []) == (None, None)
+
+    def test_sort_key_groups_by_domain(self):
+        proximity = OrderedRingProximity()
+        a = NodeProfile(ring_ids=(99,), domain="ch.ethz.inf")
+        b = NodeProfile(ring_ids=(1,), domain="nl.vu.few")
+        assert proximity.sort_key(a) < proximity.sort_key(b)

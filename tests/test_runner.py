@@ -1,0 +1,78 @@
+"""Tests for the regenerate-everything orchestrator."""
+
+import pytest
+
+from repro.experiments import figures
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import regenerate_all
+
+CONFIG = ExperimentConfig(
+    num_nodes=120,
+    warmup_cycles=50,
+    num_messages=4,
+    num_networks=1,
+    fanouts=(2, 3, 5),
+    seed=29,
+    churn_rate=0.01,
+    churn_networks=1,
+    churn_max_cycles=700,
+)
+
+EXPECTED_NAMES = {
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9_kill01",
+    "fig9_kill02",
+    "fig9_kill05",
+    "fig9_kill10",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+}
+
+
+@pytest.fixture(scope="module")
+def tables(tmp_path_factory):
+    figures.clear_caches()
+    out = tmp_path_factory.mktemp("results")
+    progress_log = []
+    result = regenerate_all(
+        CONFIG,
+        out_dir=out,
+        progress=lambda name, secs: progress_log.append(name),
+    )
+    yield result, out, progress_log
+    figures.clear_caches()
+
+
+class TestRegenerateAll:
+    def test_produces_every_figure(self, tables):
+        result, _out, _log = tables
+        assert set(result) == EXPECTED_NAMES
+
+    def test_tables_are_rendered_text(self, tables):
+        result, _out, _log = tables
+        assert "[fig6]" in result["fig6"]
+        assert "fanout" in result["fig6"]
+        assert "fig9@5%" in result["fig9_kill05"]
+
+    def test_writes_output_files(self, tables):
+        _result, out, _log = tables
+        for name in EXPECTED_NAMES:
+            assert (out / f"{name}.txt").exists(), name
+        assert (out / "fig6.dat").exists()
+        dat = (out / "fig6.dat").read_text()
+        assert dat.startswith("# fanout")
+
+    def test_progress_hook_called_per_step(self, tables):
+        _result, _out, log = tables
+        assert "fig6" in log
+        assert "fig9" in log
+        assert "fig13" in log
+
+    def test_without_out_dir(self):
+        # Caches are warm from the fixture: this is instantaneous.
+        result = regenerate_all(CONFIG)
+        assert set(result) == EXPECTED_NAMES

@@ -1,0 +1,171 @@
+"""Tests for overlay snapshots (freeze + failure injection)."""
+
+import random
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.dissemination.snapshot import OverlaySnapshot
+from repro.graphs.generators import bidirectional_ring
+
+
+def simple_snapshot(n=10, kind="ringcast"):
+    ids = list(range(n))
+    ring = bidirectional_ring(ids)
+    return OverlaySnapshot(
+        kind=kind,
+        rlinks={i: tuple((i + k) % n for k in (2, 3, 5)) for i in ids},
+        dlinks=ring,
+        alive_ids=tuple(ids),
+        ring_ids={i: i * 100 for i in ids},
+        join_cycles={i: 0 for i in ids},
+        frozen_at_cycle=100,
+    )
+
+
+class TestConstruction:
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            OverlaySnapshot(
+                kind="ringcast", rlinks={}, dlinks={}, alive_ids=()
+            )
+
+    def test_population(self):
+        assert simple_snapshot(7).population == 7
+
+    def test_alive_membership(self):
+        snapshot = simple_snapshot(5)
+        assert snapshot.is_alive(3)
+        assert not snapshot.is_alive(99)
+
+    def test_from_graph(self):
+        adjacency = bidirectional_ring(list(range(6)))
+        snapshot = OverlaySnapshot.from_graph(adjacency)
+        assert snapshot.kind == "flooding"
+        assert snapshot.population == 6
+        assert snapshot.dlinks[0] == adjacency[0]
+        assert snapshot.rlinks[0] == ()
+
+    def test_random_alive_deterministic(self):
+        snapshot = simple_snapshot()
+        a = snapshot.random_alive(random.Random(1))
+        b = snapshot.random_alive(random.Random(1))
+        assert a == b
+
+    def test_out_links_dedup_order(self):
+        snapshot = OverlaySnapshot(
+            kind="ringcast",
+            rlinks={0: (1, 2, 3), 1: ()},
+            dlinks={0: (2, 1), 1: ()},
+            alive_ids=(0, 1, 2, 3),
+        )
+        assert snapshot.out_links(0) == (2, 1, 3)
+
+    def test_lifetime_of(self):
+        snapshot = simple_snapshot()
+        assert snapshot.lifetime_of(3) == 100
+
+
+class TestKill:
+    def test_kill_fraction_count(self, rng):
+        snapshot = simple_snapshot(100)
+        damaged = snapshot.kill_fraction(0.1, rng)
+        assert damaged.population == 90
+
+    def test_kill_preserves_link_tables(self, rng):
+        snapshot = simple_snapshot(20)
+        damaged = snapshot.kill_fraction(0.25, rng)
+        assert damaged.rlinks is snapshot.rlinks
+        assert damaged.dlinks is snapshot.dlinks
+
+    def test_kill_zero_returns_self(self, rng):
+        snapshot = simple_snapshot(10)
+        assert snapshot.kill_fraction(0.0, rng) is snapshot
+
+    def test_kill_fraction_bounds(self, rng):
+        snapshot = simple_snapshot(10)
+        with pytest.raises(ConfigurationError):
+            snapshot.kill_fraction(1.0, rng)
+        with pytest.raises(ConfigurationError):
+            snapshot.kill_fraction(-0.1, rng)
+
+    def test_kill_count_exact(self, rng):
+        snapshot = simple_snapshot(10)
+        damaged = snapshot.kill_count(3, rng)
+        assert damaged.population == 7
+        assert set(damaged.alive_ids) < set(snapshot.alive_ids)
+
+    def test_kill_count_rejects_all(self, rng):
+        snapshot = simple_snapshot(4)
+        with pytest.raises(ConfigurationError):
+            snapshot.kill_count(4, rng)
+
+    def test_kill_deterministic(self):
+        snapshot = simple_snapshot(50)
+        a = snapshot.kill_fraction(0.2, random.Random(5)).alive_ids
+        b = snapshot.kill_fraction(0.2, random.Random(5)).alive_ids
+        assert a == b
+
+    def test_original_untouched(self, rng):
+        snapshot = simple_snapshot(10)
+        snapshot.kill_fraction(0.5, rng)
+        assert snapshot.population == 10
+
+
+class TestDGraph:
+    def test_d_graph_restricted_to_alive(self, rng):
+        snapshot = simple_snapshot(10)
+        damaged = snapshot.kill_count(2, rng)
+        d_graph = damaged.d_graph()
+        dead = set(snapshot.alive_ids) - set(damaged.alive_ids)
+        assert set(d_graph) == set(damaged.alive_ids)
+        for links in d_graph.values():
+            assert not (set(links) & dead)
+
+    def test_d_graph_of_intact_ring_is_ring(self):
+        snapshot = simple_snapshot(8)
+        d_graph = snapshot.d_graph()
+        assert all(len(links) == 2 for links in d_graph.values())
+
+
+class TestFromNetwork:
+    def test_ringcast_network_snapshot(self, ringcast_snapshot):
+        assert ringcast_snapshot.kind == "ringcast"
+        assert ringcast_snapshot.population == 150
+        # Converged ring: every node has exactly two distinct d-links.
+        assert all(
+            len(ringcast_snapshot.dlinks[i]) == 2
+            for i in ringcast_snapshot.alive_ids
+        )
+        # R-links filled to view size.
+        assert all(
+            len(ringcast_snapshot.rlinks[i]) == 20
+            for i in ringcast_snapshot.alive_ids
+        )
+
+    def test_randcast_network_snapshot(self, randcast_snapshot):
+        assert randcast_snapshot.kind == "randcast"
+        assert all(
+            randcast_snapshot.dlinks[i] == ()
+            for i in randcast_snapshot.alive_ids
+        )
+
+    def test_ring_ids_recorded(self, ringcast_snapshot):
+        assert len(ringcast_snapshot.ring_ids) == 150
+
+    def test_dlinks_form_true_ring(self, ringcast_snapshot):
+        from repro.graphs.analysis import ring_agreement
+
+        order = sorted(
+            ringcast_snapshot.alive_ids,
+            key=lambda i: ringcast_snapshot.ring_ids[i],
+        )
+        assert ring_agreement(ringcast_snapshot.dlinks, order) == 1.0
+
+    def test_multiring_has_up_to_four_dlinks(self, multiring_snapshot):
+        counts = {
+            len(multiring_snapshot.dlinks[i])
+            for i in multiring_snapshot.alive_ids
+        }
+        assert max(counts) == 4
+        assert min(counts) >= 2

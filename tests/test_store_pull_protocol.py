@@ -1,0 +1,222 @@
+"""Tests for message stores and the periodic pull-dissemination protocol."""
+
+import random
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.dissemination.message import Message
+from repro.dissemination.store import MessageStore
+from repro.extensions.pull_protocol import PullDissemination
+from repro.membership.bootstrap import star_bootstrap
+from repro.membership.cyclon import Cyclon
+from repro.sim.cycle import CycleDriver
+from repro.sim.network import Network
+
+
+class TestMessageStore:
+    def test_add_and_has(self):
+        store = MessageStore()
+        message = Message(origin=1)
+        assert store.add(message)
+        assert store.has(message.message_id)
+        assert message.message_id in store
+
+    def test_duplicate_add_returns_false(self):
+        store = MessageStore()
+        message = Message(origin=1)
+        store.add(message)
+        assert not store.add(message)
+        assert store.size == 1
+
+    def test_fifo_eviction(self):
+        store = MessageStore(capacity=2)
+        first, second, third = (Message(origin=i) for i in range(3))
+        store.add(first)
+        store.add(second)
+        store.add(third)
+        assert store.size == 2
+        assert not store.has(first.message_id)
+        assert store.has(third.message_id)
+        assert store.evicted == 1
+
+    def test_capacity_validation(self):
+        with pytest.raises(ConfigurationError):
+            MessageStore(capacity=0)
+
+    def test_digest(self):
+        store = MessageStore()
+        messages = [Message(origin=i) for i in range(3)]
+        for message in messages:
+            store.add(message)
+        assert store.digest() == frozenset(
+            m.message_id for m in messages
+        )
+
+    def test_missing_given(self):
+        store = MessageStore()
+        a, b, c = (Message(origin=i) for i in range(3))
+        for message in (a, b, c):
+            store.add(message)
+        missing = store.missing_given({a.message_id})
+        assert [m.message_id for m in missing] == [
+            b.message_id,
+            c.message_id,
+        ]
+
+    def test_messages_insertion_order(self):
+        store = MessageStore()
+        messages = [Message(origin=i) for i in range(4)]
+        for message in messages:
+            store.add(message)
+        assert store.messages() == messages
+
+
+def build_pull_network(
+    rng, count=60, pull_fanout=1, store_capacity=None, batch_limit=None
+):
+    network = Network(rng)
+    nodes = []
+    for _ in range(count):
+        node = network.create_node()
+        cyclon = Cyclon(node, view_size=8, shuffle_length=4)
+        node.attach("cyclon", cyclon)
+        node.attach(
+            "pull",
+            PullDissemination(
+                node,
+                cyclon,
+                pull_fanout=pull_fanout,
+                store_capacity=store_capacity,
+                batch_limit=batch_limit,
+            ),
+        )
+        nodes.append(node)
+    star_bootstrap(nodes)
+    driver = CycleDriver(network, rng)
+    driver.run(30)  # let CYCLON mix before measuring pulls
+    return network, nodes, driver
+
+
+def coverage(network, message_id):
+    holders = sum(
+        1
+        for node in network.alive_nodes()
+        if node.protocol("pull").knows(message_id)
+    )
+    return holders / network.size
+
+
+class TestPullDissemination:
+    def test_validation(self, rng):
+        network = Network(rng)
+        node = network.create_node()
+        cyclon = Cyclon(node)
+        with pytest.raises(ConfigurationError):
+            PullDissemination(node, cyclon, pull_fanout=0)
+        with pytest.raises(ConfigurationError):
+            PullDissemination(node, cyclon, batch_limit=0)
+
+    def test_message_spreads_to_everyone(self, rng):
+        network, nodes, driver = build_pull_network(rng)
+        message = Message(origin=nodes[0].node_id, payload="x")
+        nodes[0].protocol("pull").publish(message)
+        driver.run(40)
+        assert coverage(network, message.message_id) == 1.0
+
+    def test_coverage_monotone_nondecreasing(self, rng):
+        network, nodes, driver = build_pull_network(rng)
+        message = Message(origin=nodes[0].node_id)
+        nodes[0].protocol("pull").publish(message)
+        last = 0.0
+        for _ in range(30):
+            driver.run(1)
+            now = coverage(network, message.message_id)
+            assert now >= last
+            last = now
+
+    def test_pull_slower_than_push(self, rng):
+        # The paper's §1 claim: pull latency is significantly longer
+        # than push's reactive hops. Push at F=8 covers N=60 in ~3
+        # hops; pull needs many more cycles.
+        network, nodes, driver = build_pull_network(rng)
+        message = Message(origin=nodes[0].node_id)
+        nodes[0].protocol("pull").publish(message)
+        cycles = 0
+        while coverage(network, message.message_id) < 1.0 and cycles < 60:
+            driver.run(1)
+            cycles += 1
+        assert cycles > 3
+
+    def test_higher_pull_fanout_faster(self):
+        def cycles_to_full(pull_fanout, seed):
+            rng = random.Random(seed)
+            network, nodes, driver = build_pull_network(
+                rng, pull_fanout=pull_fanout
+            )
+            message = Message(origin=nodes[0].node_id)
+            nodes[0].protocol("pull").publish(message)
+            cycles = 0
+            while (
+                coverage(network, message.message_id) < 1.0 and cycles < 100
+            ):
+                driver.run(1)
+                cycles += 1
+            return cycles
+
+        slow = sum(cycles_to_full(1, seed) for seed in range(3))
+        fast = sum(cycles_to_full(3, seed) for seed in range(3))
+        assert fast < slow
+
+    def test_multiple_messages_converge(self, rng):
+        network, nodes, driver = build_pull_network(rng)
+        messages = []
+        for origin_node in nodes[:5]:
+            message = Message(origin=origin_node.node_id)
+            origin_node.protocol("pull").publish(message)
+            messages.append(message)
+        driver.run(50)
+        for message in messages:
+            assert coverage(network, message.message_id) == 1.0
+
+    def test_batch_limit_respected(self, rng):
+        network, nodes, driver = build_pull_network(rng, batch_limit=1)
+        for origin_node in nodes[:4]:
+            origin_node.protocol("pull").publish(
+                Message(origin=origin_node.node_id)
+            )
+        driver.run(1)
+        # No single poll can ship more than one message; the counters
+        # must reflect the cap.
+        for node in network.alive_nodes():
+            pull = node.protocol("pull")
+            if pull.polls_answered:
+                assert pull.messages_served <= pull.polls_answered * 1
+
+    def test_bounded_store_evicts_old_messages(self, rng):
+        network, nodes, driver = build_pull_network(
+            rng, store_capacity=2
+        )
+        pull = nodes[0].protocol("pull")
+        messages = [Message(origin=nodes[0].node_id) for _ in range(4)]
+        for message in messages:
+            pull.publish(message)
+        assert pull.store.size == 2
+        assert pull.store.evicted == 2
+
+    def test_traffic_accounting(self, rng):
+        network, nodes, driver = build_pull_network(rng)
+        nodes[0].protocol("pull").publish(Message(origin=nodes[0].node_id))
+        before = network.gossip_messages
+        driver.run(5)
+        assert network.gossip_messages > before
+        total_polls = sum(
+            node.protocol("pull").polls_sent
+            for node in network.alive_nodes()
+        )
+        total_answered = sum(
+            node.protocol("pull").polls_answered
+            for node in network.alive_nodes()
+        )
+        assert total_polls == total_answered
+        assert total_polls >= network.size * 4  # ~1 poll/node/cycle

@@ -1,0 +1,114 @@
+"""Tests for the mean-field epidemic predictions, including the
+theory-vs-simulation cross-check."""
+
+import math
+import random
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.dissemination.executor import disseminate
+from repro.dissemination.policies import RandCastPolicy
+from repro.metrics.theory import (
+    epidemic_final_fraction,
+    expected_exponential_hops,
+    randcast_expected_miss_ratio,
+)
+
+
+class TestFixedPoint:
+    def test_subcritical_fanout_no_outbreak(self):
+        assert epidemic_final_fraction(0.5) == 0.0
+        assert epidemic_final_fraction(1.0) == 0.0
+
+    @pytest.mark.parametrize("fanout", [1.5, 2, 3, 5, 8, 12])
+    def test_solution_satisfies_equation(self, fanout):
+        pi = epidemic_final_fraction(fanout)
+        assert pi == pytest.approx(1.0 - math.exp(-fanout * pi), abs=1e-9)
+
+    def test_monotone_in_fanout(self):
+        values = [epidemic_final_fraction(f) for f in (1.5, 2, 3, 5, 10)]
+        assert values == sorted(values)
+
+    def test_known_value_f2(self):
+        # The classic giant-component size for mean degree 2.
+        assert epidemic_final_fraction(2.0) == pytest.approx(
+            0.7968, abs=1e-4
+        )
+
+    def test_high_fanout_approaches_one(self):
+        assert epidemic_final_fraction(20.0) == pytest.approx(1.0, abs=1e-8)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            epidemic_final_fraction(-1.0)
+
+
+class TestMissRatio:
+    def test_complement_of_final_fraction(self):
+        for fanout in (2, 4, 6):
+            assert randcast_expected_miss_ratio(
+                fanout
+            ) == pytest.approx(1.0 - epidemic_final_fraction(fanout))
+
+    def test_exponential_decay_regime(self):
+        # For moderate F, miss ≈ exp(-F): each of the F incoming trials
+        # misses this node with probability ~(1-1/N)^(F*N*pi).
+        for fanout in (4, 6, 8):
+            miss = randcast_expected_miss_ratio(fanout)
+            assert miss == pytest.approx(math.exp(-fanout), rel=0.15)
+
+
+class TestHops:
+    def test_log_base_fanout(self):
+        assert expected_exponential_hops(10_000, 10) == pytest.approx(4.0)
+        assert expected_exponential_hops(8, 2) == pytest.approx(3.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            expected_exponential_hops(0, 3)
+        with pytest.raises(ConfigurationError):
+            expected_exponential_hops(100, 1)
+
+
+class TestTheoryMatchesSimulation:
+    """The simulator's RANDCAST should track the mean-field prediction."""
+
+    def test_measured_miss_ratio_near_prediction(self, randcast_snapshot):
+        rng = random.Random(99)
+        for fanout in (3, 4):
+            results = [
+                disseminate(
+                    randcast_snapshot,
+                    RandCastPolicy(),
+                    fanout,
+                    randcast_snapshot.random_alive(rng),
+                    rng,
+                )
+                for _ in range(40)
+            ]
+            # Condition on outbreak: mean-field predicts the miss ratio
+            # of disseminations that take off (non-outbreaks die at the
+            # origin's neighborhood and are a separate, finite-N event).
+            outbreaks = [r for r in results if r.hit_ratio > 0.5]
+            assert outbreaks
+            measured = sum(r.miss_ratio for r in outbreaks) / len(outbreaks)
+            predicted = randcast_expected_miss_ratio(fanout)
+            # N=150 is small; allow generous but shape-preserving slack.
+            assert measured == pytest.approx(predicted, abs=0.03)
+
+    def test_hops_close_to_log_prediction(self, randcast_snapshot):
+        rng = random.Random(7)
+        results = [
+            disseminate(
+                randcast_snapshot,
+                RandCastPolicy(),
+                5,
+                randcast_snapshot.random_alive(rng),
+                rng,
+            )
+            for _ in range(10)
+        ]
+        mean_hops = sum(r.hops for r in results) / len(results)
+        lower = expected_exponential_hops(150, 5)
+        assert lower <= mean_hops <= lower + 5

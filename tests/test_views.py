@@ -1,0 +1,172 @@
+"""Tests for partial views and descriptors (the gossip data structures)."""
+
+import random
+
+import pytest
+
+from repro.common.errors import ConfigurationError, ProtocolError
+from repro.membership.views import (
+    NodeDescriptor,
+    PartialView,
+    merge_unique,
+)
+from repro.sim.node import NodeProfile
+
+
+def profile(ring_id=1):
+    return NodeProfile(ring_ids=(ring_id,))
+
+
+def descriptor(node_id, age=0, ring_id=None):
+    return NodeDescriptor(
+        node_id, age, profile(ring_id if ring_id is not None else node_id)
+    )
+
+
+class TestNodeDescriptor:
+    def test_copy_detached(self):
+        original = descriptor(1, age=5)
+        clone = original.copy()
+        clone.age += 1
+        assert original.age == 5
+        assert clone.node_id == 1
+        assert clone.profile is original.profile
+
+    def test_fresh_copy_resets_age(self):
+        assert descriptor(1, age=9).fresh_copy().age == 0
+
+
+class TestPartialViewBasics:
+    def test_capacity_validation(self):
+        with pytest.raises(ConfigurationError):
+            PartialView(owner_id=0, capacity=0)
+
+    def test_add_and_lookup(self):
+        view = PartialView(owner_id=0, capacity=3)
+        view.add(descriptor(1))
+        assert view.contains(1)
+        assert view.get(1).node_id == 1
+        assert view.get(2) is None
+        assert view.size == 1
+
+    def test_rejects_self_entry(self):
+        view = PartialView(owner_id=7, capacity=3)
+        with pytest.raises(ProtocolError):
+            view.add(descriptor(7))
+
+    def test_rejects_duplicate(self):
+        view = PartialView(owner_id=0, capacity=3)
+        view.add(descriptor(1))
+        with pytest.raises(ProtocolError):
+            view.add(descriptor(1, age=9))
+
+    def test_rejects_overflow(self):
+        view = PartialView(owner_id=0, capacity=2)
+        view.add(descriptor(1))
+        view.add(descriptor(2))
+        assert view.is_full
+        with pytest.raises(ProtocolError):
+            view.add(descriptor(3))
+
+    def test_remove(self):
+        view = PartialView(owner_id=0, capacity=2)
+        view.add(descriptor(1))
+        assert view.remove(1)
+        assert not view.remove(1)
+        assert view.size == 0
+
+    def test_clear(self):
+        view = PartialView(owner_id=0, capacity=3)
+        view.add(descriptor(1))
+        view.add(descriptor(2))
+        view.clear()
+        assert view.size == 0
+
+    def test_ids_in_insertion_order(self):
+        view = PartialView(owner_id=0, capacity=3)
+        for node_id in (3, 1, 2):
+            view.add(descriptor(node_id))
+        assert view.ids() == (3, 1, 2)
+
+
+class TestAging:
+    def test_increment_ages(self):
+        view = PartialView(owner_id=0, capacity=3)
+        view.add(descriptor(1, age=0))
+        view.add(descriptor(2, age=4))
+        view.increment_ages()
+        assert view.get(1).age == 1
+        assert view.get(2).age == 5
+
+    def test_oldest(self):
+        view = PartialView(owner_id=0, capacity=3)
+        view.add(descriptor(1, age=2))
+        view.add(descriptor(2, age=7))
+        view.add(descriptor(3, age=5))
+        assert view.oldest().node_id == 2
+
+    def test_oldest_tie_keeps_first_inserted(self):
+        view = PartialView(owner_id=0, capacity=3)
+        view.add(descriptor(5, age=3))
+        view.add(descriptor(6, age=3))
+        assert view.oldest().node_id == 5
+
+    def test_oldest_empty(self):
+        assert PartialView(owner_id=0, capacity=3).oldest() is None
+
+
+class TestRandomSelection:
+    def _view(self, count=10):
+        view = PartialView(owner_id=0, capacity=count)
+        for node_id in range(1, count + 1):
+            view.add(descriptor(node_id))
+        return view
+
+    def test_sample_size(self, rng):
+        view = self._view()
+        assert len(view.random_descriptors(4, rng)) == 4
+
+    def test_sample_all_when_count_exceeds(self, rng):
+        view = self._view(3)
+        assert len(view.random_descriptors(99, rng)) == 3
+
+    def test_exclusion(self, rng):
+        view = self._view(5)
+        for _ in range(20):
+            ids = view.random_ids(4, rng, exclude=(2, 3))
+            assert 2 not in ids and 3 not in ids
+
+    def test_no_duplicates_in_sample(self, rng):
+        view = self._view(8)
+        for _ in range(20):
+            ids = view.random_ids(5, rng)
+            assert len(set(ids)) == len(ids)
+
+    def test_deterministic_for_seed(self):
+        view = self._view(8)
+        a = view.random_ids(3, random.Random(4))
+        b = view.random_ids(3, random.Random(4))
+        assert a == b
+
+
+class TestMergeUnique:
+    def test_removes_excluded_id(self):
+        merged = merge_unique([[descriptor(1), descriptor(2)]], exclude_id=1)
+        assert [d.node_id for d in merged] == [2]
+
+    def test_lowest_age_wins(self):
+        merged = merge_unique(
+            [[descriptor(1, age=5)], [descriptor(1, age=2)]], exclude_id=0
+        )
+        assert len(merged) == 1
+        assert merged[0].age == 2
+
+    def test_merges_across_batches(self):
+        merged = merge_unique(
+            [[descriptor(1)], [descriptor(2)], [descriptor(3)]],
+            exclude_id=0,
+        )
+        assert sorted(d.node_id for d in merged) == [1, 2, 3]
+
+    def test_empty(self):
+        assert merge_unique([], exclude_id=0) == []
