@@ -1,19 +1,46 @@
 """Paper Fig. 6: dissemination effectiveness in a static failure-free
 network — miss ratio (a) and complete disseminations (b) vs fanout.
 
+Migrated onto the parallel sweep engine: the (protocol × fanout) grid
+expands into independent trials executed across worker processes
+(``REPRO_SWEEP_WORKERS``, default: all cores, capped at 8). Each trial
+builds its own overlay in its own RNG universe, so the grid
+parallelises perfectly and the numbers are identical at any worker
+count.
+
 Expected reproduction shape: RINGCAST misses nothing at any fanout
 (miss = 0, complete = 100%); RANDCAST's miss ratio decays roughly
 exponentially with the fanout and its complete-dissemination share
 rises steeply from 0% to 100%.
 """
 
-from benchmarks.conftest import once, record_table
-from repro.experiments import figures
+from benchmarks.conftest import once, record_table, sweep_workers
 from repro.experiments.report import render_effectiveness
+from repro.experiments.sweep import SweepGrid, run_sweep
+from repro.experiments.sweep_results import effectiveness_figure
 
 
 def test_fig6_static_effectiveness(benchmark, cfg):
-    data = once(benchmark, lambda: figures.figure6(cfg))
+    grid = SweepGrid(
+        scenarios=("static",),
+        protocols=("randcast", "ringcast"),
+        num_nodes=(cfg.num_nodes,),
+        fanouts=cfg.fanouts,
+        replicates=cfg.num_networks,
+        num_messages=cfg.num_messages,
+    )
+    result = once(
+        benchmark,
+        lambda: run_sweep(
+            grid,
+            base_config=cfg,
+            root_seed=cfg.seed,
+            workers=sweep_workers(),
+        ),
+    )
+    data = effectiveness_figure(
+        result, "static", cfg.num_nodes, label="fig6"
+    )
 
     ring_miss = data.miss_percent("ringcast")
     rand_miss = data.miss_percent("randcast")

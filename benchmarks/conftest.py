@@ -44,6 +44,18 @@ def cfg():
     return scale_config(os.environ.get("REPRO_SCALE", "small"), seed=BENCH_SEED)
 
 
+def sweep_workers() -> int:
+    """Worker-process count for sweep-engine benches.
+
+    ``REPRO_SWEEP_WORKERS`` overrides; the default uses every core,
+    capped at 8 (sweep results are identical at any width).
+    """
+    override = os.environ.get("REPRO_SWEEP_WORKERS")
+    if override:
+        return max(1, int(override))
+    return min(8, os.cpu_count() or 1)
+
+
 def once(benchmark, fn):
     """Run ``fn`` exactly once under the benchmark timer."""
     return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -32,17 +32,23 @@ from repro.api import (
     build_overlay,
     disseminate,
     run_experiment,
+    run_sweep,
 )
 from repro.dissemination.executor import DisseminationResult
 from repro.dissemination.snapshot import OverlaySnapshot
+from repro.experiments.sweep import SweepGrid
+from repro.experiments.sweep_results import SweepResult
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "DisseminationResult",
     "OverlaySnapshot",
+    "SweepGrid",
+    "SweepResult",
     "__version__",
     "build_overlay",
     "disseminate",
     "run_experiment",
+    "run_sweep",
 ]

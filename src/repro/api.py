@@ -1,6 +1,7 @@
-"""High-level facade: build an overlay, disseminate, run scenarios.
+"""High-level facade: build an overlay, disseminate, run scenarios,
+sweep parameter grids.
 
-These three functions cover the common cases; power users compose the
+These functions cover the common cases; power users compose the
 underlying layers directly (see README architecture notes).
 
 >>> from repro import build_overlay, disseminate
@@ -13,7 +14,8 @@ True
 from __future__ import annotations
 
 import random
-from typing import Optional, Union
+from pathlib import Path
+from typing import Optional, Tuple, Union
 
 from repro.common.errors import ConfigurationError
 from repro.common.rng import RngRegistry
@@ -33,8 +35,15 @@ from repro.experiments.scenarios import (
     run_churn_scenario,
     run_static_scenario,
 )
+from repro.experiments.sweep import SweepGrid, run_sweep as _run_sweep
+from repro.experiments.sweep_results import SweepResult
 
-__all__ = ["build_overlay", "disseminate", "run_experiment"]
+__all__ = [
+    "build_overlay",
+    "disseminate",
+    "run_experiment",
+    "run_sweep",
+]
 
 
 def build_overlay(
@@ -126,4 +135,62 @@ def run_experiment(
     raise ConfigurationError(
         f"unknown scenario {scenario!r}; expected static, catastrophic, "
         "or churn"
+    )
+
+
+def run_sweep(
+    scenarios: Tuple[str, ...] = ("static",),
+    protocols: Tuple[str, ...] = ("randcast", "ringcast"),
+    num_nodes: Tuple[int, ...] = (150,),
+    fanouts: Tuple[int, ...] = (1, 2, 3, 4),
+    replicates: int = 1,
+    num_messages: int = 5,
+    kill_fractions: Tuple[float, ...] = (0.05,),
+    churn_rates: Tuple[float, ...] = (0.01,),
+    concurrent_messages: int = 4,
+    pulls_per_round: int = 1,
+    scale: Optional[str] = None,
+    seed: Optional[int] = None,
+    workers: int = 1,
+    cache_dir: Optional[Union[str, Path]] = None,
+    progress=None,
+    **config_overrides,
+) -> SweepResult:
+    """Run a declarative (protocol × N × fanout × scenario × seed) grid.
+
+    Every trial is an independent cell executed across ``workers``
+    processes; results are aggregated per cell (mean + 95% CI over
+    ``replicates``) and are byte-for-byte identical at any worker
+    count. ``cache_dir`` enables resume: completed trials are persisted
+    and skipped on re-runs.
+
+    Scenario names come from
+    :mod:`repro.experiments.scenario_matrix` (``static``,
+    ``catastrophic``, ``churn``, ``multi_message``, ``pull_churn``);
+    extra keyword arguments override
+    :class:`~repro.experiments.config.ExperimentConfig` fields of the
+    per-trial base configuration (e.g. ``warmup_cycles=40``).
+    """
+    base = scale_config(scale, seed=seed)
+    if config_overrides:
+        base = base.with_overrides(**config_overrides)
+    grid = SweepGrid(
+        scenarios=tuple(scenarios),
+        protocols=tuple(protocols),
+        num_nodes=tuple(num_nodes),
+        fanouts=tuple(fanouts),
+        replicates=replicates,
+        num_messages=num_messages,
+        kill_fractions=tuple(kill_fractions),
+        churn_rates=tuple(churn_rates),
+        concurrent_messages=concurrent_messages,
+        pulls_per_round=pulls_per_round,
+    )
+    return _run_sweep(
+        grid,
+        base_config=base,
+        root_seed=base.seed,
+        workers=workers,
+        cache_dir=cache_dir,
+        progress=progress,
     )

@@ -5,8 +5,24 @@ optional gnuplot ``.dat`` files::
 
     repro fig6 --scale small --seed 42
     repro fig9 --out results/
-    repro all --scale medium
+    repro all --scale medium --workers 4
     repro demo
+
+Running sweeps
+--------------
+
+``repro sweep`` expands a declarative (scenario × protocol × N ×
+fanout × seed-replicate) grid, executes the trials across worker
+processes, and prints per-cell aggregates (mean ± 95% CI)::
+
+    repro sweep --workers 4
+    repro sweep --scenarios static,catastrophic --fanouts 1,2,3,4,6 \\
+        --nodes 200,400 --replicates 3 --workers 8
+    repro sweep --scenarios multi_message,pull_churn --cache runs/ \\
+        --json runs/sweep.json
+
+Results are byte-identical at any ``--workers`` value; ``--cache DIR``
+persists finished trials so an interrupted sweep resumes for free.
 
 Scales: tiny, small (default), medium, paper — see
 :mod:`repro.experiments.config`.
@@ -17,12 +33,13 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.api import build_overlay, disseminate
 from repro.experiments import figures as fig
 from repro.experiments import report
 from repro.experiments.config import scale_config
+from repro.experiments.scenario_matrix import scenario_names
 
 __all__ = ["main"]
 
@@ -178,11 +195,62 @@ def _run_all(args) -> None:
         config,
         out_dir=args.out,
         progress=lambda name, secs: print(f"({name} took {secs:.1f}s)"),
+        workers=args.workers,
     )
     for name, text in tables.items():
         print(f"=== {name} ===")
         print(text)
         print()
+
+
+def _csv(text: str) -> Tuple[str, ...]:
+    return tuple(part.strip() for part in text.split(",") if part.strip())
+
+
+def _csv_ints(text: str) -> Tuple[int, ...]:
+    return tuple(int(part) for part in _csv(text))
+
+
+def _csv_floats(text: str) -> Tuple[float, ...]:
+    return tuple(float(part) for part in _csv(text))
+
+
+def _run_sweep(args) -> None:
+    from repro.api import run_sweep
+
+    overrides = {}
+    if args.warmup is not None:
+        overrides["warmup_cycles"] = args.warmup
+    done = {"count": 0}
+
+    def narrate(key: str, seconds: float, cached: bool) -> None:
+        done["count"] += 1
+        tag = "cached" if cached else f"~{seconds:.1f}s"
+        print(f"[{done['count']}] {key} ({tag})")
+
+    result = run_sweep(
+        scenarios=args.scenarios,
+        protocols=args.protocols,
+        num_nodes=args.nodes,
+        fanouts=args.fanouts,
+        replicates=args.replicates,
+        num_messages=args.messages,
+        kill_fractions=args.kill_fractions,
+        churn_rates=args.churn_rates,
+        concurrent_messages=args.concurrent,
+        pulls_per_round=args.pulls,
+        scale=args.scale,
+        seed=args.seed,
+        workers=args.workers,
+        cache_dir=args.cache,
+        progress=narrate if args.verbose else None,
+        **overrides,
+    )
+    text = report.render_sweep(result)
+    _emit(text, "sweep", args.out)
+    if args.json is not None:
+        path = result.save(args.json)
+        print(f"(aggregated sweep written to {path})")
 
 
 def _run_demo(args) -> None:
@@ -227,7 +295,120 @@ def build_parser() -> argparse.ArgumentParser:
         sub.set_defaults(func=runner)
     sub = subparsers.add_parser("all", help="regenerate every figure")
     _add_common(sub)
+    sub.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="parallel worker processes for the scenario runs "
+        "(default: 1; results identical at any value)",
+    )
     sub.set_defaults(func=_run_all)
+    sub = subparsers.add_parser(
+        "sweep",
+        help="run a parallel (scenario x protocol x N x fanout x seed) "
+        "grid and print per-cell aggregates",
+        description=(
+            "Expand a declarative parameter grid into independent "
+            "trials, execute them across worker processes, and "
+            "aggregate per cell (mean and 95% CI over replicates). "
+            "Results are byte-identical at any --workers value; "
+            "--cache enables resume of interrupted sweeps."
+        ),
+    )
+    _add_common(sub)
+    sub.add_argument(
+        "--scenarios",
+        type=_csv,
+        default=("static",),
+        help="comma-separated scenario names, from: "
+        + ",".join(scenario_names())
+        + " (default: static)",
+    )
+    sub.add_argument(
+        "--protocols",
+        type=_csv,
+        default=("randcast", "ringcast"),
+        help="comma-separated overlay kinds (default: randcast,ringcast)",
+    )
+    sub.add_argument(
+        "--nodes",
+        type=_csv_ints,
+        default=(150,),
+        help="comma-separated population sizes (default: 150)",
+    )
+    sub.add_argument(
+        "--fanouts",
+        type=_csv_ints,
+        default=(1, 2, 3, 4),
+        help="comma-separated fanouts (default: 1,2,3,4)",
+    )
+    sub.add_argument(
+        "--replicates",
+        type=int,
+        default=2,
+        help="independent seed replicates per cell (default: 2)",
+    )
+    sub.add_argument(
+        "--messages",
+        type=int,
+        default=5,
+        help="messages posted per trial (default: 5)",
+    )
+    sub.add_argument(
+        "--kill-fractions",
+        type=_csv_floats,
+        default=(0.05,),
+        help="kill fractions for catastrophic trials (default: 0.05)",
+    )
+    sub.add_argument(
+        "--churn-rates",
+        type=_csv_floats,
+        default=(0.01,),
+        help="per-cycle churn rates for churn trials (default: 0.01)",
+    )
+    sub.add_argument(
+        "--concurrent",
+        type=int,
+        default=4,
+        help="batch size for multi_message trials (default: 4)",
+    )
+    sub.add_argument(
+        "--pulls",
+        type=int,
+        default=1,
+        help="polls per recovery round for pull_churn trials "
+        "(default: 1)",
+    )
+    sub.add_argument(
+        "--warmup",
+        type=int,
+        default=None,
+        help="override warm-up cycles (smoke runs)",
+    )
+    sub.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="parallel worker processes (default: 1)",
+    )
+    sub.add_argument(
+        "--cache",
+        type=Path,
+        default=None,
+        help="per-trial cache directory (resume support)",
+    )
+    sub.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        help="write the aggregated sweep as canonical JSON here",
+    )
+    sub.add_argument(
+        "--verbose",
+        action="store_true",
+        help="narrate per-trial progress",
+    )
+    sub.set_defaults(func=_run_sweep)
     sub = subparsers.add_parser(
         "demo", help="60-second RINGCAST vs RANDCAST demonstration"
     )

@@ -11,8 +11,14 @@ variable; :mod:`repro.experiments.builder` constructs protocol stacks;
 :mod:`repro.experiments.scenarios` runs the three evaluation scenarios
 (static failure-free, catastrophic failure, continuous churn);
 :mod:`repro.experiments.figures` regenerates each of the paper's
-evaluation figures as structured data; and
-:mod:`repro.experiments.report` renders them as paper-style tables.
+evaluation figures as structured data;
+:mod:`repro.experiments.report` renders them as paper-style tables;
+and :mod:`repro.experiments.sweep` expands declarative
+(scenario × protocol × N × fanout × seed) grids into independent
+trials executed in parallel across worker processes, with
+deterministic aggregation and resume-from-cache
+(:mod:`repro.experiments.sweep_results`,
+:mod:`repro.experiments.scenario_matrix`).
 """
 
 from repro.experiments.config import (
@@ -39,15 +45,28 @@ from repro.experiments.scenarios import (
     run_churn_scenario,
     run_static_scenario,
 )
+from repro.experiments.sweep import SweepGrid, execute_jobs, run_sweep
+from repro.experiments.sweep_results import (
+    CellSummary,
+    SweepResult,
+    TrialResult,
+    TrialSpec,
+)
 
 __all__ = [
+    "CellSummary",
     "ChurnOutcome",
     "ConvergenceCurve",
     "ExperimentConfig",
     "FanoutSweep",
     "OverlaySpec",
     "RingConvergenceProbe",
+    "SweepGrid",
+    "SweepResult",
+    "TrialResult",
+    "TrialSpec",
     "build_population",
+    "execute_jobs",
     "freeze_overlay",
     "make_node_factory",
     "measure_ring_convergence",
@@ -55,6 +74,7 @@ __all__ = [
     "run_catastrophic_scenario",
     "run_churn_scenario",
     "run_static_scenario",
+    "run_sweep",
     "scale_config",
     "warm_up",
 ]

@@ -14,7 +14,7 @@ warm-up exactly once. Use :func:`clear_caches` to force recomputation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.experiments.config import ExperimentConfig, OverlaySpec
 from repro.experiments.scenarios import (
@@ -33,6 +33,7 @@ __all__ = [
     "MissLifetimeFigure",
     "ProgressFigure",
     "clear_caches",
+    "warm_cache",
     "figure6",
     "figure7",
     "figure8",
@@ -60,6 +61,28 @@ def clear_caches() -> None:
     _STATIC_CACHE.clear()
     _CATASTROPHIC_CACHE.clear()
     _CHURN_CACHE.clear()
+
+
+def warm_cache(
+    config: ExperimentConfig,
+    static: Optional[Dict[str, FanoutSweep]] = None,
+    catastrophic: Optional[Dict[Tuple[str, float], FanoutSweep]] = None,
+    churn: Optional[Dict[str, ChurnOutcome]] = None,
+) -> None:
+    """Install precomputed scenario runs into the memoised caches.
+
+    The parallel figure runner computes scenario runs in worker
+    processes and primes the caches here, so the ``figure*`` functions
+    below find everything already done. Keys: overlay kind for
+    ``static``/``churn``, ``(kind, kill_fraction)`` for
+    ``catastrophic``.
+    """
+    for kind, sweep in (static or {}).items():
+        _STATIC_CACHE[(config, kind)] = sweep
+    for (kind, fraction), sweep in (catastrophic or {}).items():
+        _CATASTROPHIC_CACHE[(config, kind, fraction)] = sweep
+    for kind, outcome in (churn or {}).items():
+        _CHURN_CACHE[(config, kind)] = outcome
 
 
 def _static_sweep(config: ExperimentConfig, kind: str) -> FanoutSweep:

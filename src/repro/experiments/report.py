@@ -26,6 +26,7 @@ __all__ = [
     "render_messages",
     "render_miss_lifetimes",
     "render_progress",
+    "render_sweep",
     "write_dat",
 ]
 
@@ -189,6 +190,59 @@ def render_miss_lifetimes(figure: MissLifetimeFigure) -> str:
                 ["lifetime", "randcast missed", "ringcast missed"], grouped
             )
         )
+    return "\n\n".join(blocks)
+
+
+def render_sweep(result) -> str:
+    """Aggregated sweep cells as one table per scenario.
+
+    Accepts a :class:`~repro.experiments.sweep_results.SweepResult`;
+    the miss/complete columns carry a ±95% CI half-width over seed
+    replicates when more than one replicate ran.
+    """
+    blocks: List[str] = []
+    for scenario in result.scenarios():
+        cells = [c for c in result.cells if c.scenario == scenario]
+        # Kill/churn columns appear only when that axis varies or is
+        # set — a multi-fraction sweep must label which row is which.
+        show_kill = any(c.kill_fraction != 0.0 for c in cells)
+        show_churn = any(c.churn_rate != 0.0 for c in cells)
+        headers = ["protocol", "N", "fanout"]
+        if show_kill:
+            headers.append("kill%")
+        if show_churn:
+            headers.append("churn%")
+        headers += [
+            "reps",
+            "miss%",
+            "±miss",
+            "compl%",
+            "±compl",
+            "msgs",
+            "hops",
+        ]
+        rows: List[Sequence[Cell]] = []
+        for cell in cells:
+            row: List[Cell] = [
+                cell.protocol,
+                cell.num_nodes,
+                cell.fanout,
+            ]
+            if show_kill:
+                row.append(100.0 * cell.kill_fraction)
+            if show_churn:
+                row.append(100.0 * cell.churn_rate)
+            row += [
+                cell.replicates,
+                cell.miss_percent,
+                100.0 * cell.ci95_miss_ratio,
+                cell.complete_percent,
+                100.0 * cell.ci95_complete_fraction,
+                cell.mean_total_messages,
+                cell.mean_hops,
+            ]
+            rows.append(row)
+        blocks.append(f"[sweep:{scenario}]\n" + _table(headers, rows))
     return "\n\n".join(blocks)
 
 

@@ -6,21 +6,86 @@ persists them (text + gnuplot ``.dat``), and returns the rendered
 tables keyed by figure name. The CLI's ``repro all`` and downstream
 scripts use this instead of stitching the per-figure functions
 together by hand.
+
+With ``workers > 1`` the underlying scenario runs — one static sweep
+and one churn run per protocol, one catastrophic sweep per (protocol,
+kill fraction) — execute in parallel through the sweep engine's
+process pool (:func:`repro.experiments.sweep.execute_jobs`) and prime
+the figure caches, so the serial rendering pass below finds every run
+already done. Scenario runs are seed-deterministic, so the tables are
+identical at any worker count.
 """
 
 from __future__ import annotations
 
 import time
 from pathlib import Path
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.experiments import figures as fig
 from repro.experiments import report
-from repro.experiments.config import ExperimentConfig
+from repro.experiments.config import ExperimentConfig, OverlaySpec
+from repro.experiments.scenarios import (
+    run_catastrophic_scenario,
+    run_churn_scenario,
+    run_static_scenario,
+)
+from repro.experiments.sweep import execute_jobs
 
 __all__ = ["regenerate_all"]
 
 ProgressHook = Callable[[str, float], None]
+
+
+def _static_job(config: ExperimentConfig, kind: str):
+    return run_static_scenario(config, OverlaySpec(kind))
+
+
+def _catastrophic_job(
+    config: ExperimentConfig, kind: str, fraction: float
+):
+    return run_catastrophic_scenario(config, OverlaySpec(kind), fraction)
+
+
+def _churn_job(config: ExperimentConfig, kind: str):
+    return run_churn_scenario(config, OverlaySpec(kind))
+
+
+def _prewarm_scenarios(
+    config: ExperimentConfig, workers: int
+) -> None:
+    """Run every scenario the figures need, in parallel, and prime the
+    memoised caches."""
+    static_keys = list(fig.PROTOCOLS)
+    catastrophic_keys: List[Tuple[str, float]] = [
+        (kind, fraction)
+        for kind in fig.PROTOCOLS
+        for fraction in fig.PAPER_KILL_FRACTIONS
+    ]
+    churn_keys = list(fig.PROTOCOLS)
+    jobs = (
+        [(_static_job, (config, kind)) for kind in static_keys]
+        + [
+            (_catastrophic_job, (config, kind, fraction))
+            for kind, fraction in catastrophic_keys
+        ]
+        + [(_churn_job, (config, kind)) for kind in churn_keys]
+    )
+    results = execute_jobs(jobs, workers=workers)
+    cursor = 0
+    static = dict(zip(static_keys, results[: len(static_keys)]))
+    cursor += len(static_keys)
+    catastrophic = dict(
+        zip(
+            catastrophic_keys,
+            results[cursor : cursor + len(catastrophic_keys)],
+        )
+    )
+    cursor += len(catastrophic_keys)
+    churn = dict(zip(churn_keys, results[cursor:]))
+    fig.warm_cache(
+        config, static=static, catastrophic=catastrophic, churn=churn
+    )
 
 
 def _render_fig9(config: ExperimentConfig) -> Dict[str, str]:
@@ -36,6 +101,7 @@ def regenerate_all(
     config: ExperimentConfig,
     out_dir: Optional[Path] = None,
     progress: Optional[ProgressHook] = None,
+    workers: int = 1,
 ) -> Dict[str, str]:
     """Regenerate Figs. 6–13 and return ``{figure name: rendered table}``.
 
@@ -47,12 +113,21 @@ def regenerate_all(
         progress: Optional callback invoked as ``progress(name,
             seconds)`` after each figure completes — the CLI uses it to
             narrate long runs.
+        workers: When ``> 1``, the underlying scenario runs execute in
+            parallel worker processes first (identical results, less
+            wall clock on multi-core machines).
 
     Figures share scenario runs through the module-level caches in
     :mod:`repro.experiments.figures`, so the full set costs only one
     static sweep, one catastrophic sweep per kill fraction, and one
     churn run — per protocol.
     """
+    if workers > 1:
+        started = time.perf_counter()
+        _prewarm_scenarios(config, workers)
+        if progress is not None:
+            progress("prewarm", time.perf_counter() - started)
+
     tables: Dict[str, str] = {}
 
     def step(name: str, producer: Callable[[], str]) -> None:

@@ -1,0 +1,339 @@
+"""The sweep engine's scenario registry.
+
+Each entry maps a scenario name to a *trial executor*: a function that
+runs one fully-specified :class:`~repro.experiments.sweep_results.TrialSpec`
+inside its own RNG universe and returns a
+:class:`~repro.experiments.sweep_results.TrialResult`. Unlike
+:mod:`repro.experiments.scenarios` (which sweeps all fanouts over
+several networks in one call, for the figure pipeline), a trial here is
+the smallest independently-schedulable unit — one network, one fanout —
+so the sweep engine can spread a grid across worker processes while
+replicates provide the averaging.
+
+Registered scenarios:
+
+* ``static`` — the paper's §7.1 failure-free network.
+* ``catastrophic`` — §7.2, ``kill_fraction`` of the nodes die after
+  freeze with no self-healing.
+* ``churn`` — §7.3, continuous artificial churn until full population
+  turnover, then freeze and disseminate.
+* ``multi_message`` — several messages disseminated concurrently over
+  one static overlay from distinct origins, measuring the aggregate
+  per-node load (the workload of Sanghavi et al., *Gossiping with
+  Multiple Messages*).
+* ``pull_churn`` — dissemination over a churned overlay followed by the
+  §8 pull-recovery anti-entropy post-pass (push reliability vs pull
+  latency under membership damage).
+
+New scenarios plug in with :func:`register_scenario`; the CLI and grid
+validation read :func:`scenario_names`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import RngRegistry
+from repro.dissemination.executor import DisseminationResult, disseminate
+from repro.dissemination.policies import policy_for_snapshot
+from repro.dissemination.snapshot import OverlaySnapshot
+from repro.experiments.builder import (
+    build_population,
+    freeze_overlay,
+    warm_up,
+)
+from repro.experiments.config import ExperimentConfig, OverlaySpec
+from repro.experiments.scenarios import sweep_snapshot
+from repro.experiments.sweep_results import TrialResult, TrialSpec
+from repro.extensions.pull_recovery import pull_recovery
+from repro.failures.churn import ArtificialChurn
+from repro.metrics.dissemination import summarize_runs
+
+__all__ = [
+    "execute_trial",
+    "register_scenario",
+    "resolve_scenario",
+    "run_trial",
+    "scenario_names",
+    "trial_config",
+]
+
+TrialExecutor = Callable[
+    [TrialSpec, ExperimentConfig, RngRegistry], TrialResult
+]
+
+_SCENARIOS: Dict[str, TrialExecutor] = {}
+
+
+def register_scenario(name: str, executor: TrialExecutor) -> None:
+    """Register (or replace) a scenario executor under ``name``."""
+    _SCENARIOS[name] = executor
+
+
+def scenario_names() -> Tuple[str, ...]:
+    """Every registered scenario, sorted."""
+    return tuple(sorted(_SCENARIOS))
+
+
+def resolve_scenario(name: str) -> TrialExecutor:
+    """The executor registered for ``name`` (raises if unknown)."""
+    try:
+        return _SCENARIOS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scenario {name!r}; expected one of "
+            f"{scenario_names()}"
+        ) from None
+
+
+def trial_config(
+    spec: TrialSpec, config: ExperimentConfig, root_seed: int
+) -> ExperimentConfig:
+    """The effective per-trial configuration: ``config`` with the
+    spec's grid axes substituted in.
+
+    Everything a trial computes is a function of this config plus the
+    trial's RNG universe — the sweep cache fingerprints it for exactly
+    that reason.
+    """
+    return config.with_overrides(
+        num_nodes=spec.num_nodes,
+        fanouts=(spec.fanout,),
+        num_messages=spec.num_messages,
+        num_networks=1,
+        churn_networks=1,
+        seed=root_seed,
+    )
+
+
+def execute_trial(
+    executor: TrialExecutor,
+    spec: TrialSpec,
+    config: ExperimentConfig,
+    root_seed: int,
+) -> TrialResult:
+    """Run ``executor`` on one trial in a fresh RNG universe.
+
+    The registry is spawned from ``(root_seed, spec.key)``, so a trial's
+    outcome is a pure function of the root seed and its spec — identical
+    no matter which worker runs it or in what order. The executor is
+    passed in (rather than looked up here) so scenarios registered at
+    runtime in the parent process still work when worker processes are
+    started via spawn/forkserver, where the worker's registry only
+    contains the built-ins; a module-level executor function pickles
+    across fine.
+    """
+    registry = RngRegistry(root_seed).spawn(spec.key)
+    return executor(spec, trial_config(spec, config, root_seed), registry)
+
+
+def run_trial(
+    spec: TrialSpec, config: ExperimentConfig, root_seed: int
+) -> TrialResult:
+    """Look up the spec's scenario in this process and execute it."""
+    return execute_trial(
+        resolve_scenario(spec.scenario), spec, config, root_seed
+    )
+
+
+def _built_snapshot(
+    spec: TrialSpec, config: ExperimentConfig, registry: RngRegistry
+) -> OverlaySnapshot:
+    population = build_population(
+        config, OverlaySpec(kind=spec.protocol), registry
+    )
+    warm_up(population)
+    return freeze_overlay(population)
+
+
+def _disseminate_batch(
+    snapshot: OverlaySnapshot,
+    spec: TrialSpec,
+    config: ExperimentConfig,
+    registry: RngRegistry,
+    collect_load: bool = False,
+) -> List[DisseminationResult]:
+    """Post ``config.num_messages`` messages at the trial's one fanout.
+
+    Delegates to the figure pipeline's :func:`sweep_snapshot` restricted
+    to the single fanout, so the sweep path and the serial scenario path
+    share one dissemination loop (same stream names, same draw order).
+    """
+    sweep = sweep_snapshot(
+        snapshot,
+        config,
+        registry,
+        collect_load=collect_load,
+        fanouts=(spec.fanout,),
+    )
+    return sweep.runs[spec.fanout]
+
+
+def _result_from_runs(
+    spec: TrialSpec,
+    runs: List[DisseminationResult],
+    extras: Dict[str, float],
+) -> TrialResult:
+    stats = summarize_runs(runs)
+    return TrialResult(
+        spec=spec,
+        runs=stats.runs,
+        mean_miss_ratio=stats.mean_miss_ratio,
+        complete_fraction=stats.complete_fraction,
+        mean_hops=stats.mean_hops,
+        max_hops=stats.max_hops,
+        mean_msgs_virgin=stats.mean_msgs_virgin,
+        mean_msgs_redundant=stats.mean_msgs_redundant,
+        mean_msgs_to_dead=stats.mean_msgs_to_dead,
+        mean_total_messages=stats.mean_total_messages,
+        extras=tuple(sorted(extras.items())),
+    )
+
+
+def _run_static(
+    spec: TrialSpec, config: ExperimentConfig, registry: RngRegistry
+) -> TrialResult:
+    snapshot = _built_snapshot(spec, config, registry)
+    runs = _disseminate_batch(snapshot, spec, config, registry)
+    return _result_from_runs(spec, runs, {})
+
+
+def _run_catastrophic(
+    spec: TrialSpec, config: ExperimentConfig, registry: RngRegistry
+) -> TrialResult:
+    snapshot = _built_snapshot(spec, config, registry)
+    damaged = snapshot.kill_fraction(
+        spec.kill_fraction, registry.stream("failures")
+    )
+    runs = _disseminate_batch(damaged, spec, config, registry)
+    return _result_from_runs(
+        spec,
+        runs,
+        {"killed": float(snapshot.population - damaged.population)},
+    )
+
+
+def _churned_snapshot(
+    spec: TrialSpec, config: ExperimentConfig, registry: RngRegistry
+) -> Tuple[OverlaySnapshot, int]:
+    """Warm up under churn until full turnover; return (snapshot, cycles)."""
+    if spec.churn_rate <= 0.0:
+        # No silent fallback to config.churn_rate: a cell labelled 0%
+        # churn must never report churned numbers. A churn-free trial
+        # is the static scenario.
+        raise ConfigurationError(
+            f"{spec.scenario!r} trials need churn_rate > 0 "
+            "(use the 'static' scenario for a churn-free baseline)"
+        )
+    population = build_population(
+        config, OverlaySpec(kind=spec.protocol), registry
+    )
+    churn = ArtificialChurn(spec.churn_rate, population.node_factory)
+    population.driver.churn = churn
+    warm_up(population, config.warmup_cycles)
+    cycles = population.driver.run_until(
+        churn.full_turnover_reached,
+        max_cycles=config.churn_max_cycles,
+    )
+    return freeze_overlay(population), cycles
+
+
+def _run_churn(
+    spec: TrialSpec, config: ExperimentConfig, registry: RngRegistry
+) -> TrialResult:
+    snapshot, cycles = _churned_snapshot(spec, config, registry)
+    runs = _disseminate_batch(snapshot, spec, config, registry)
+    return _result_from_runs(spec, runs, {"churn_cycles": float(cycles)})
+
+
+def _run_multi_message(
+    spec: TrialSpec, config: ExperimentConfig, registry: RngRegistry
+) -> TrialResult:
+    """Concurrent multi-message dissemination over one static overlay.
+
+    Each of the trial's ``num_messages`` repetitions posts a batch of
+    ``concurrent_messages`` messages from distinct random origins
+    spreading simultaneously; the hop-synchronous model makes their
+    deliveries independent, so the interesting aggregate is the load a
+    batch imposes together on individual nodes (forwarding hotspots),
+    averaged over the repetitions.
+    """
+    snapshot = _built_snapshot(spec, config, registry)
+    origins_rng = registry.stream("origins")
+    targets_rng = registry.stream("targets")
+    policy = policy_for_snapshot(snapshot)
+    batch = min(spec.concurrent_messages, snapshot.population)
+    runs: List[DisseminationResult] = []
+    max_loads: List[float] = []
+    mean_loads: List[float] = []
+    for _ in range(config.num_messages):
+        origins = origins_rng.sample(snapshot.alive_ids, batch)
+        batch_runs = [
+            disseminate(
+                snapshot,
+                policy,
+                spec.fanout,
+                origin,
+                targets_rng,
+                collect_load=True,
+            )
+            for origin in origins
+        ]
+        load: Dict[int, int] = {}
+        for result in batch_runs:
+            for node_id, sent in result.sent_per_node.items():
+                load[node_id] = load.get(node_id, 0) + sent
+            for node_id, received in result.received_per_node.items():
+                load[node_id] = load.get(node_id, 0) + received
+        max_loads.append(float(max(load.values(), default=0)))
+        mean_loads.append(
+            float(sum(load.values())) / snapshot.population
+        )
+        runs.extend(batch_runs)
+    extras = {
+        "concurrent_messages": float(batch),
+        "max_node_load": sum(max_loads) / len(max_loads),
+        "mean_node_load": sum(mean_loads) / len(mean_loads),
+    }
+    return _result_from_runs(spec, runs, extras)
+
+
+def _run_pull_churn(
+    spec: TrialSpec, config: ExperimentConfig, registry: RngRegistry
+) -> TrialResult:
+    """Push over a churned overlay, then §8 pull recovery per message."""
+    snapshot, cycles = _churned_snapshot(spec, config, registry)
+    runs = _disseminate_batch(snapshot, spec, config, registry)
+    pulls_rng = registry.stream("pulls")
+    recoveries = [
+        pull_recovery(
+            snapshot,
+            push,
+            pulls_rng,
+            pulls_per_round=spec.pulls_per_round,
+        )
+        for push in runs
+    ]
+    extras = {
+        "churn_cycles": float(cycles),
+        "pull_final_hit_ratio": sum(
+            r.final_hit_ratio for r in recoveries
+        ) / len(recoveries),
+        "pull_rounds": sum(r.rounds_used for r in recoveries)
+        / len(recoveries),
+        "pull_requests": sum(r.pull_requests for r in recoveries)
+        / len(recoveries),
+        "pull_recovered": float(sum(r.recovered for r in recoveries)),
+        "pull_unrecoverable": float(
+            sum(r.unrecoverable for r in recoveries)
+        ),
+    }
+    return _result_from_runs(spec, runs, extras)
+
+
+register_scenario("static", _run_static)
+register_scenario("catastrophic", _run_catastrophic)
+register_scenario("churn", _run_churn)
+register_scenario("multi_message", _run_multi_message)
+register_scenario("pull_churn", _run_pull_churn)

@@ -1,0 +1,329 @@
+"""Parallel experiment-sweep orchestration.
+
+The paper's evaluation is a grid of (protocol, N, fanout, scenario,
+seed) trials; the figure pipeline runs them serially. This module
+expands a declarative :class:`SweepGrid` into independent
+:class:`~repro.experiments.sweep_results.TrialSpec` cells and executes
+them across a :class:`concurrent.futures.ProcessPoolExecutor`.
+
+Determinism is the design constraint: each trial derives its entire RNG
+universe from ``(root_seed, spec.key)`` via
+:meth:`~repro.common.rng.RngRegistry.spawn`, results are collected in
+grid-expansion order regardless of completion order, and aggregation is
+bit-stable — so a sweep produces byte-identical JSON whether it ran on
+one worker or sixteen (``tests/test_golden_determinism.py`` pins this).
+
+Completed trials can be persisted to a cache directory; re-running the
+same sweep (or a superset grid) skips them, which turns an interrupted
+overnight sweep into a cheap resume.
+
+:func:`execute_jobs` exposes the same deterministic-order pool for
+callers that need full scenario objects rather than trial metrics —
+:func:`repro.experiments.runner.regenerate_all` uses it to parallelise
+figure regeneration.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from pathlib import Path
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.common.errors import ConfigurationError
+from repro.experiments.config import ExperimentConfig, OverlaySpec
+from repro.experiments.scenario_matrix import (
+    execute_trial,
+    resolve_scenario,
+    scenario_names,
+    trial_config,
+)
+from repro.experiments.sweep_results import (
+    SweepResult,
+    TrialResult,
+    TrialSpec,
+    config_fingerprint,
+    load_cached_trial,
+    store_trial,
+)
+
+__all__ = ["SweepGrid", "execute_jobs", "run_sweep"]
+
+# progress(trial_key, seconds, cached) — the CLI narrates long sweeps.
+SweepProgress = Callable[[str, float, bool], None]
+
+_VALID_PROTOCOLS = OverlaySpec._KINDS
+
+
+@dataclass(frozen=True)
+class SweepGrid:
+    """A declarative parameter grid.
+
+    Axes multiply: every scenario is crossed with every protocol,
+    population size, fanout and replicate. Scenario-specific axes
+    (``kill_fractions``, ``churn_rates``) multiply only into the
+    scenarios that read them.
+
+    >>> grid = SweepGrid(scenarios=("static",), protocols=("ringcast",),
+    ...                  num_nodes=(100,), fanouts=(2, 3), replicates=2)
+    >>> len(grid.expand())
+    4
+    """
+
+    scenarios: Tuple[str, ...] = ("static",)
+    protocols: Tuple[str, ...] = ("randcast", "ringcast")
+    num_nodes: Tuple[int, ...] = (150,)
+    fanouts: Tuple[int, ...] = (1, 2, 3, 4)
+    replicates: int = 1
+    num_messages: int = 5
+    kill_fractions: Tuple[float, ...] = (0.05,)
+    churn_rates: Tuple[float, ...] = (0.01,)
+    concurrent_messages: int = 4
+    pulls_per_round: int = 1
+
+    def __post_init__(self) -> None:
+        if self.replicates < 1:
+            raise ConfigurationError("replicates must be >= 1")
+        for axis in (
+            self.scenarios,
+            self.protocols,
+            self.num_nodes,
+            self.fanouts,
+        ):
+            if not axis:
+                raise ConfigurationError(
+                    "every grid axis needs at least one value"
+                )
+        known = scenario_names()
+        for scenario in self.scenarios:
+            if scenario not in known:
+                raise ConfigurationError(
+                    f"unknown scenario {scenario!r}; expected one of "
+                    f"{known}"
+                )
+        for protocol in self.protocols:
+            if protocol not in _VALID_PROTOCOLS:
+                raise ConfigurationError(
+                    f"unknown protocol {protocol!r}; expected one of "
+                    f"{_VALID_PROTOCOLS}"
+                )
+        # Duplicate axis values would expand into RNG-identical trials
+        # that aggregate as fake independent replicates (CI = 0).
+        for label, axis in (
+            ("scenario", self.scenarios),
+            ("protocol", self.protocols),
+            ("num_nodes", self.num_nodes),
+            ("fanout", self.fanouts),
+            ("kill_fraction", self.kill_fractions),
+            ("churn_rate", self.churn_rates),
+        ):
+            if len(set(axis)) != len(axis):
+                raise ConfigurationError(
+                    f"duplicate {label} value in grid: {axis}"
+                )
+        if "catastrophic" in self.scenarios and not self.kill_fractions:
+            raise ConfigurationError("kill_fractions must be non-empty")
+        churny = {"churn", "pull_churn"} & set(self.scenarios)
+        if churny and not self.churn_rates:
+            raise ConfigurationError("churn_rates must be non-empty")
+        if churny and any(rate <= 0.0 for rate in self.churn_rates):
+            raise ConfigurationError(
+                "churn scenarios need churn_rate > 0; use the 'static' "
+                "scenario for a churn-free baseline"
+            )
+
+    def _scenario_variants(
+        self, scenario: str
+    ) -> List[Dict[str, float]]:
+        """The scenario-specific sub-axes (kill fraction, churn rate)."""
+        if scenario == "catastrophic":
+            return [{"kill_fraction": k} for k in self.kill_fractions]
+        if scenario in ("churn", "pull_churn"):
+            return [{"churn_rate": r} for r in self.churn_rates]
+        return [{}]
+
+    def expand(self) -> Tuple[TrialSpec, ...]:
+        """Every trial of the grid, in canonical (deterministic) order."""
+        specs: List[TrialSpec] = []
+        for scenario in self.scenarios:
+            for variant in self._scenario_variants(scenario):
+                for protocol in self.protocols:
+                    for nodes in self.num_nodes:
+                        for fanout in self.fanouts:
+                            for replicate in range(self.replicates):
+                                specs.append(
+                                    TrialSpec(
+                                        scenario=scenario,
+                                        protocol=protocol,
+                                        num_nodes=nodes,
+                                        fanout=fanout,
+                                        replicate=replicate,
+                                        num_messages=self.num_messages,
+                                        concurrent_messages=(
+                                            self.concurrent_messages
+                                        ),
+                                        pulls_per_round=(
+                                            self.pulls_per_round
+                                        ),
+                                        **variant,
+                                    )
+                                )
+        return tuple(specs)
+
+
+# ----------------------------------------------------------------------
+# deterministic-order process pool
+# ----------------------------------------------------------------------
+
+Job = Tuple[Callable[..., Any], Tuple[Any, ...]]
+
+
+def _call_job(job: Job) -> Any:
+    fn, args = job
+    return fn(*args)
+
+
+def execute_jobs(
+    jobs: Sequence[Job], workers: int = 1
+) -> List[Any]:
+    """Run picklable ``(fn, args)`` jobs; results come back in job order.
+
+    ``workers=1`` executes inline (no pool, no pickling) — the
+    debugging and determinism baseline. Results never depend on
+    completion order, only on job order.
+    """
+    if workers < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    if workers == 1 or len(jobs) <= 1:
+        return [_call_job(job) for job in jobs]
+    with ProcessPoolExecutor(max_workers=min(workers, len(jobs))) as pool:
+        futures = [pool.submit(_call_job, job) for job in jobs]
+        return [future.result() for future in futures]
+
+
+def _execute_spec(
+    spec: TrialSpec,
+    config: ExperimentConfig,
+    root_seed: int,
+    executor: Callable,
+) -> Tuple[TrialResult, float]:
+    """Worker entry point: run one trial, timing it in the worker.
+
+    The scenario executor is resolved in the parent and shipped with
+    the job, so scenarios registered at runtime survive spawn-based
+    worker pools (where the child only re-imports the built-ins).
+    """
+    started = time.perf_counter()
+    result = execute_trial(executor, spec, config, root_seed)
+    return result, time.perf_counter() - started
+
+
+def run_sweep(
+    grid: SweepGrid,
+    base_config: Optional[ExperimentConfig] = None,
+    root_seed: int = 42,
+    workers: int = 1,
+    cache_dir: Optional[Union[str, Path]] = None,
+    progress: Optional[SweepProgress] = None,
+) -> SweepResult:
+    """Expand ``grid``, execute every trial, aggregate into a result.
+
+    Args:
+        grid: The declarative parameter grid.
+        base_config: Template for per-trial configs (warm-up cycles,
+            view sizes, churn caps...); grid axes override its
+            population/fanout/message fields. Defaults to
+            :class:`ExperimentConfig`'s paper-mirroring defaults.
+        root_seed: Root of every trial's RNG universe.
+        workers: Process-pool width; ``1`` runs inline. Any value
+            produces identical results — parallelism is pure speed.
+        cache_dir: When given, finished trials are persisted there and
+            already-cached trials are skipped on re-runs (resume).
+        progress: Optional ``(trial_key, seconds, cached)`` callback.
+    """
+    if workers < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    config = base_config if base_config is not None else ExperimentConfig()
+    specs = grid.expand()
+
+    # Cache identity covers the *effective* per-trial config, not just
+    # the spec: a smoke run with --warmup 10 must never be served back
+    # as a full-warm-up sweep.
+    digests = (
+        {
+            spec: config_fingerprint(
+                trial_config(spec, config, root_seed)
+            )
+            for spec in specs
+        }
+        if cache_dir is not None
+        else {}
+    )
+
+    results: Dict[int, TrialResult] = {}
+    pending: List[Tuple[int, TrialSpec]] = []
+    for index, spec in enumerate(specs):
+        cached = (
+            load_cached_trial(cache_dir, spec, root_seed, digests[spec])
+            if cache_dir is not None
+            else None
+        )
+        if cached is not None:
+            results[index] = cached
+            if progress is not None:
+                progress(spec.key, 0.0, True)
+        else:
+            pending.append((index, spec))
+
+    def finish(
+        index: int, spec: TrialSpec, result: TrialResult, seconds: float
+    ) -> None:
+        # Persist immediately: an interrupted sweep must keep every
+        # trial finished so far, or --cache resume would be a lie.
+        results[index] = result
+        if cache_dir is not None:
+            store_trial(cache_dir, result, root_seed, digests[spec])
+        if progress is not None:
+            progress(spec.key, seconds, False)
+
+    executors = {
+        scenario: resolve_scenario(scenario)
+        for scenario in grid.scenarios
+    }
+    if workers == 1 or len(pending) <= 1:
+        for index, spec in pending:
+            result, seconds = _execute_spec(
+                spec, config, root_seed, executors[spec.scenario]
+            )
+            finish(index, spec, result, seconds)
+    elif pending:
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(pending))
+        ) as pool:
+            futures = {
+                pool.submit(
+                    _execute_spec,
+                    spec,
+                    config,
+                    root_seed,
+                    executors[spec.scenario],
+                ): (index, spec)
+                for index, spec in pending
+            }
+            for future in as_completed(futures):
+                index, spec = futures[future]
+                result, seconds = future.result()
+                finish(index, spec, result, seconds)
+
+    ordered = tuple(results[index] for index in range(len(specs)))
+    return SweepResult(root_seed=root_seed, trials=ordered)

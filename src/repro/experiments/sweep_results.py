@@ -1,0 +1,637 @@
+"""Typed containers for parallel experiment sweeps.
+
+A sweep is a grid of independent *trials*; this module defines the
+value objects the sweep engine (:mod:`repro.experiments.sweep`) passes
+across process boundaries and persists to disk:
+
+* :class:`TrialSpec` — one fully-specified cell of the parameter grid
+  (protocol × N × fanout × scenario × replicate). Its :attr:`~TrialSpec.key`
+  is the canonical derivation string for the trial's RNG universe and
+  its cache identity, so results depend only on ``(root_seed, spec)``
+  and never on worker count or execution order.
+* :class:`TrialResult` — the measured outcome of one trial, mirroring
+  :class:`~repro.metrics.dissemination.EffectivenessStats` plus
+  scenario-specific extras (churn cycles, pull rounds, load hotspots).
+* :class:`CellSummary` — replicate-aggregated statistics (mean and a
+  normal-approximation 95% CI) for one grid cell.
+* :class:`SweepResult` — everything together, with canonical JSON
+  round-tripping: the same sweep serialises to byte-identical JSON no
+  matter how many workers produced it.
+
+A small per-trial JSON cache (:func:`load_cached_trial` /
+:func:`store_trial`) lets interrupted sweeps resume without redoing
+completed trials.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.common.errors import ConfigurationError
+from repro.metrics.aggregate import mean
+
+__all__ = [
+    "CellSummary",
+    "SweepResult",
+    "TrialResult",
+    "TrialSpec",
+    "canonical_json",
+    "config_fingerprint",
+    "load_cached_trial",
+    "store_trial",
+    "trial_cache_path",
+]
+
+# Bump when the trial result format changes so stale caches are ignored.
+CACHE_FORMAT = 1
+
+# Two-sided 95% critical values: Student-t by degrees of freedom for
+# the small replicate counts sweeps actually run, falling back to the
+# normal z past df=30. With 2-3 replicates the t correction is the
+# difference between an honest interval and wild overconfidence.
+_T95 = {
+    1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571,
+    6: 2.447, 7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228,
+    11: 2.201, 12: 2.179, 13: 2.160, 14: 2.145, 15: 2.131,
+    16: 2.120, 17: 2.110, 18: 2.101, 19: 2.093, 20: 2.086,
+    21: 2.080, 22: 2.074, 23: 2.069, 24: 2.064, 25: 2.060,
+    26: 2.056, 27: 2.052, 28: 2.048, 29: 2.045, 30: 2.042,
+}
+_Z95 = 1.959963984540054
+
+
+def canonical_json(payload: object) -> str:
+    """Serialise ``payload`` deterministically (sorted keys, fixed style)."""
+    return json.dumps(
+        payload, sort_keys=True, indent=2, separators=(",", ": ")
+    )
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """One point of the sweep grid, fully determined and hashable.
+
+    Attributes:
+        scenario: Scenario name registered in
+            :mod:`repro.experiments.scenario_matrix`.
+        protocol: Overlay kind (``randcast``, ``ringcast``, ...).
+        num_nodes: Population size for this trial.
+        fanout: The single fanout F this trial disseminates at.
+        replicate: Seed-replicate index; replicates of a cell differ
+            only in this field and are averaged by the aggregation.
+        num_messages: Messages posted (and measured) per trial.
+        kill_fraction: Fraction killed before dissemination
+            (catastrophic scenarios; 0.0 elsewhere).
+        churn_rate: Per-cycle replacement rate (churn scenarios; 0.0
+            elsewhere).
+        concurrent_messages: Batch size for the multi-message workload.
+        pulls_per_round: Polls per round for pull-recovery workloads.
+    """
+
+    scenario: str
+    protocol: str
+    num_nodes: int
+    fanout: int
+    replicate: int = 0
+    num_messages: int = 5
+    kill_fraction: float = 0.0
+    churn_rate: float = 0.0
+    concurrent_messages: int = 1
+    pulls_per_round: int = 1
+
+    def __post_init__(self) -> None:
+        # Coerce so an int-valued 0 and a float 0.0 — equal as specs —
+        # also share their key (RNG universe + cache identity).
+        object.__setattr__(
+            self, "kill_fraction", float(self.kill_fraction)
+        )
+        object.__setattr__(self, "churn_rate", float(self.churn_rate))
+        if self.num_nodes < 3:
+            raise ConfigurationError("num_nodes must be >= 3")
+        if self.fanout < 1:
+            raise ConfigurationError("fanout must be >= 1")
+        if self.replicate < 0:
+            raise ConfigurationError("replicate must be >= 0")
+        if self.num_messages < 1:
+            raise ConfigurationError("num_messages must be >= 1")
+        if not 0.0 <= self.kill_fraction < 1.0:
+            raise ConfigurationError("kill_fraction must be in [0, 1)")
+        if not 0.0 <= self.churn_rate < 1.0:
+            raise ConfigurationError("churn_rate must be in [0, 1)")
+        if self.concurrent_messages < 1:
+            raise ConfigurationError("concurrent_messages must be >= 1")
+        if self.pulls_per_round < 1:
+            raise ConfigurationError("pulls_per_round must be >= 1")
+
+    @property
+    def key(self) -> str:
+        """Canonical derivation string: RNG universe + cache identity."""
+        return (
+            f"sweep/{self.scenario}/{self.protocol}"
+            f"/n{self.num_nodes}/f{self.fanout}/m{self.num_messages}"
+            f"/kill{self.kill_fraction!r}/churn{self.churn_rate!r}"
+            f"/cm{self.concurrent_messages}/p{self.pulls_per_round}"
+            f"/rep{self.replicate}"
+        )
+
+    @property
+    def cell(self) -> Tuple:
+        """The grouping key replicates of this spec share."""
+        return (
+            self.scenario,
+            self.protocol,
+            self.num_nodes,
+            self.fanout,
+            self.num_messages,
+            self.kill_fraction,
+            self.churn_rate,
+            self.concurrent_messages,
+            self.pulls_per_round,
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "scenario": self.scenario,
+            "protocol": self.protocol,
+            "num_nodes": self.num_nodes,
+            "fanout": self.fanout,
+            "replicate": self.replicate,
+            "num_messages": self.num_messages,
+            "kill_fraction": self.kill_fraction,
+            "churn_rate": self.churn_rate,
+            "concurrent_messages": self.concurrent_messages,
+            "pulls_per_round": self.pulls_per_round,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "TrialSpec":
+        return cls(**payload)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class TrialResult:
+    """Measured outcome of one trial.
+
+    The effectiveness fields mirror
+    :class:`~repro.metrics.dissemination.EffectivenessStats` so sweep
+    cells can be bridged back into the paper's figure containers;
+    ``extras`` carries scenario-specific scalars (e.g. ``churn_cycles``,
+    ``pull_rounds``, ``max_node_load``).
+    """
+
+    spec: TrialSpec
+    runs: int
+    mean_miss_ratio: float
+    complete_fraction: float
+    mean_hops: float
+    max_hops: int
+    mean_msgs_virgin: float
+    mean_msgs_redundant: float
+    mean_msgs_to_dead: float
+    mean_total_messages: float
+    extras: Tuple[Tuple[str, float], ...] = ()
+
+    @property
+    def extras_dict(self) -> Dict[str, float]:
+        return dict(self.extras)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "spec": self.spec.to_dict(),
+            "runs": self.runs,
+            "mean_miss_ratio": self.mean_miss_ratio,
+            "complete_fraction": self.complete_fraction,
+            "mean_hops": self.mean_hops,
+            "max_hops": self.max_hops,
+            "mean_msgs_virgin": self.mean_msgs_virgin,
+            "mean_msgs_redundant": self.mean_msgs_redundant,
+            "mean_msgs_to_dead": self.mean_msgs_to_dead,
+            "mean_total_messages": self.mean_total_messages,
+            "extras": {name: value for name, value in self.extras},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "TrialResult":
+        extras = payload.get("extras", {})
+        return cls(
+            spec=TrialSpec.from_dict(payload["spec"]),  # type: ignore[arg-type]
+            runs=int(payload["runs"]),  # type: ignore[arg-type]
+            mean_miss_ratio=float(payload["mean_miss_ratio"]),  # type: ignore[arg-type]
+            complete_fraction=float(payload["complete_fraction"]),  # type: ignore[arg-type]
+            mean_hops=float(payload["mean_hops"]),  # type: ignore[arg-type]
+            max_hops=int(payload["max_hops"]),  # type: ignore[arg-type]
+            mean_msgs_virgin=float(payload["mean_msgs_virgin"]),  # type: ignore[arg-type]
+            mean_msgs_redundant=float(payload["mean_msgs_redundant"]),  # type: ignore[arg-type]
+            mean_msgs_to_dead=float(payload["mean_msgs_to_dead"]),  # type: ignore[arg-type]
+            mean_total_messages=float(payload["mean_total_messages"]),  # type: ignore[arg-type]
+            extras=tuple(sorted((k, float(v)) for k, v in extras.items())),  # type: ignore[union-attr]
+        )
+
+
+def _ci95(samples: Sequence[float]) -> float:
+    """Half-width of a 95% CI on the mean (0.0 for n < 2).
+
+    Uses the *sample* standard deviation (ddof=1) and the Student-t
+    critical value for the actual replicate count.
+    """
+    n = len(samples)
+    if n < 2:
+        return 0.0
+    mu = mean(samples)
+    sample_var = sum((x - mu) ** 2 for x in samples) / (n - 1)
+    critical = _T95.get(n - 1, _Z95)
+    return critical * math.sqrt(sample_var / n)
+
+
+@dataclass(frozen=True)
+class CellSummary:
+    """Replicate-aggregated statistics for one (scenario, protocol,
+    N, fanout) cell of the grid."""
+
+    scenario: str
+    protocol: str
+    num_nodes: int
+    fanout: int
+    replicates: int
+    kill_fraction: float
+    churn_rate: float
+    mean_miss_ratio: float
+    ci95_miss_ratio: float
+    complete_fraction: float
+    ci95_complete_fraction: float
+    mean_hops: float
+    max_hops: int
+    mean_msgs_virgin: float
+    mean_msgs_redundant: float
+    mean_msgs_to_dead: float
+    mean_total_messages: float
+    ci95_total_messages: float
+    extras: Tuple[Tuple[str, float], ...] = ()
+
+    @property
+    def miss_percent(self) -> float:
+        return 100.0 * self.mean_miss_ratio
+
+    @property
+    def complete_percent(self) -> float:
+        return 100.0 * self.complete_fraction
+
+    @property
+    def extras_dict(self) -> Dict[str, float]:
+        return dict(self.extras)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "scenario": self.scenario,
+            "protocol": self.protocol,
+            "num_nodes": self.num_nodes,
+            "fanout": self.fanout,
+            "replicates": self.replicates,
+            "kill_fraction": self.kill_fraction,
+            "churn_rate": self.churn_rate,
+            "mean_miss_ratio": self.mean_miss_ratio,
+            "ci95_miss_ratio": self.ci95_miss_ratio,
+            "complete_fraction": self.complete_fraction,
+            "ci95_complete_fraction": self.ci95_complete_fraction,
+            "mean_hops": self.mean_hops,
+            "max_hops": self.max_hops,
+            "mean_msgs_virgin": self.mean_msgs_virgin,
+            "mean_msgs_redundant": self.mean_msgs_redundant,
+            "mean_msgs_to_dead": self.mean_msgs_to_dead,
+            "mean_total_messages": self.mean_total_messages,
+            "ci95_total_messages": self.ci95_total_messages,
+            "extras": {name: value for name, value in self.extras},
+        }
+
+
+def summarize_cells(
+    trials: Sequence[TrialResult],
+) -> Tuple[CellSummary, ...]:
+    """Group trials by cell and aggregate replicates (mean + 95% CI).
+
+    Trials are grouped on every spec field except ``replicate``;
+    averages run in replicate order so the aggregation is bit-stable.
+    Extras present in every replicate of a cell are averaged too.
+    """
+    groups: Dict[Tuple, List[TrialResult]] = {}
+    for trial in trials:
+        groups.setdefault(trial.spec.cell, []).append(trial)
+    cells: List[CellSummary] = []
+    for cell_key in sorted(groups):
+        members = sorted(groups[cell_key], key=lambda t: t.spec.replicate)
+        spec = members[0].spec
+        miss = [t.mean_miss_ratio for t in members]
+        complete = [t.complete_fraction for t in members]
+        totals = [t.mean_total_messages for t in members]
+        shared_extras = set(members[0].extras_dict)
+        for trial in members[1:]:
+            shared_extras &= set(trial.extras_dict)
+        extras = tuple(
+            (name, mean([t.extras_dict[name] for t in members]))
+            for name in sorted(shared_extras)
+        )
+        cells.append(
+            CellSummary(
+                scenario=spec.scenario,
+                protocol=spec.protocol,
+                num_nodes=spec.num_nodes,
+                fanout=spec.fanout,
+                replicates=len(members),
+                kill_fraction=spec.kill_fraction,
+                churn_rate=spec.churn_rate,
+                mean_miss_ratio=mean(miss),
+                ci95_miss_ratio=_ci95(miss),
+                complete_fraction=mean(complete),
+                ci95_complete_fraction=_ci95(complete),
+                mean_hops=mean([t.mean_hops for t in members]),
+                max_hops=max(t.max_hops for t in members),
+                mean_msgs_virgin=mean(
+                    [t.mean_msgs_virgin for t in members]
+                ),
+                mean_msgs_redundant=mean(
+                    [t.mean_msgs_redundant for t in members]
+                ),
+                mean_msgs_to_dead=mean(
+                    [t.mean_msgs_to_dead for t in members]
+                ),
+                mean_total_messages=mean(totals),
+                ci95_total_messages=_ci95(totals),
+                extras=extras,
+            )
+        )
+    return tuple(cells)
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """A complete sweep: every trial plus per-cell aggregates."""
+
+    root_seed: int
+    trials: Tuple[TrialResult, ...]
+    cells: Tuple[CellSummary, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.cells:
+            object.__setattr__(
+                self, "cells", summarize_cells(self.trials)
+            )
+
+    def cell(
+        self,
+        scenario: str,
+        protocol: str,
+        num_nodes: int,
+        fanout: int,
+        kill_fraction: Optional[float] = None,
+        churn_rate: Optional[float] = None,
+    ) -> CellSummary:
+        """Look up one aggregated cell.
+
+        Raises ``KeyError`` when absent — and also when the sweep ran
+        several kill fractions or churn rates and the optional filters
+        don't pin the lookup down to exactly one cell (silently
+        returning an arbitrary fraction would misattribute results).
+        """
+        matches = [
+            candidate
+            for candidate in self.cells
+            if candidate.scenario == scenario
+            and candidate.protocol == protocol
+            and candidate.num_nodes == num_nodes
+            and candidate.fanout == fanout
+            and (
+                kill_fraction is None
+                or candidate.kill_fraction == kill_fraction
+            )
+            and (
+                churn_rate is None or candidate.churn_rate == churn_rate
+            )
+        ]
+        if not matches:
+            raise KeyError(
+                f"no cell ({scenario}, {protocol}, N={num_nodes}, "
+                f"F={fanout})"
+            )
+        if len(matches) > 1:
+            variants = sorted(
+                (c.kill_fraction, c.churn_rate) for c in matches
+            )
+            raise KeyError(
+                f"ambiguous cell ({scenario}, {protocol}, "
+                f"N={num_nodes}, F={fanout}): matches "
+                f"(kill_fraction, churn_rate) variants {variants}; pass "
+                "kill_fraction=/churn_rate= to disambiguate"
+            )
+        return matches[0]
+
+    def scenarios(self) -> Tuple[str, ...]:
+        return tuple(sorted({c.scenario for c in self.cells}))
+
+    def protocols(self) -> Tuple[str, ...]:
+        return tuple(sorted({c.protocol for c in self.cells}))
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "format": CACHE_FORMAT,
+            "root_seed": self.root_seed,
+            "trials": [trial.to_dict() for trial in self.trials],
+            "cells": [cell.to_dict() for cell in self.cells],
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON: byte-identical for identical sweep outcomes."""
+        return canonical_json(self.to_dict())
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepResult":
+        payload = json.loads(text)
+        fmt = payload.get("format")
+        if fmt != CACHE_FORMAT:
+            raise ValueError(
+                f"sweep result format {fmt!r} is not supported (this "
+                f"build reads format {CACHE_FORMAT}); re-run the sweep"
+            )
+        trials = tuple(
+            TrialResult.from_dict(entry) for entry in payload["trials"]
+        )
+        return cls(root_seed=int(payload["root_seed"]), trials=trials)
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Write the canonical JSON to ``path`` (parents created)."""
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(self.to_json() + "\n", encoding="utf-8")
+        return target
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "SweepResult":
+        return cls.from_json(Path(path).read_text(encoding="utf-8"))
+
+
+# ----------------------------------------------------------------------
+# per-trial resume cache
+# ----------------------------------------------------------------------
+
+
+def config_fingerprint(config) -> str:
+    """A stable digest of an experiment config (a frozen dataclass).
+
+    A trial's outcome depends on the full effective config, not just
+    the spec fields (warm-up cycles, view sizes, churn caps...). The
+    cache identity must include it, or re-running a sweep after a
+    ``--warmup 10`` smoke run would silently serve the smoke numbers.
+    """
+    from dataclasses import asdict
+
+    return hashlib.sha256(
+        canonical_json(asdict(config)).encode("utf-8")
+    ).hexdigest()[:16]
+
+
+def trial_cache_path(
+    cache_dir: Union[str, Path],
+    spec: TrialSpec,
+    root_seed: int,
+    config_digest: str = "",
+) -> Path:
+    """Stable cache location for one ``(config, root_seed, spec)`` trial."""
+    digest = hashlib.sha256(
+        f"v{CACHE_FORMAT}:{root_seed}:{config_digest}:{spec.key}".encode(
+            "utf-8"
+        )
+    ).hexdigest()[:24]
+    return Path(cache_dir) / f"trial_{digest}.json"
+
+
+def load_cached_trial(
+    cache_dir: Union[str, Path],
+    spec: TrialSpec,
+    root_seed: int,
+    config_digest: str = "",
+) -> Optional[TrialResult]:
+    """Return the cached result for ``spec``, or ``None``.
+
+    Corrupt or mismatched cache files (truncated writes, hash
+    collisions, format drift) are treated as misses, never as errors.
+    """
+    path = trial_cache_path(cache_dir, spec, root_seed, config_digest)
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+    if payload.get("format") != CACHE_FORMAT:
+        return None
+    if payload.get("root_seed") != root_seed:
+        return None
+    if payload.get("config") != config_digest:
+        return None
+    try:
+        result = TrialResult.from_dict(payload["result"])
+    except (KeyError, TypeError, ValueError, ConfigurationError):
+        return None
+    if result.spec != spec:
+        return None
+    return result
+
+
+def store_trial(
+    cache_dir: Union[str, Path],
+    result: TrialResult,
+    root_seed: int,
+    config_digest: str = "",
+) -> Path:
+    """Persist one finished trial for future resume."""
+    path = trial_cache_path(
+        cache_dir, result.spec, root_seed, config_digest
+    )
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "format": CACHE_FORMAT,
+        "root_seed": root_seed,
+        "config": config_digest,
+        "result": result.to_dict(),
+    }
+    tmp = path.with_suffix(".tmp")
+    tmp.write_text(canonical_json(payload) + "\n", encoding="utf-8")
+    tmp.replace(path)
+    return path
+
+
+def effectiveness_stats_of(cell: CellSummary):
+    """Bridge one cell back into the figure layer's stats container."""
+    from repro.metrics.dissemination import EffectivenessStats
+
+    return EffectivenessStats(
+        runs=cell.replicates,
+        mean_miss_ratio=cell.mean_miss_ratio,
+        complete_fraction=cell.complete_fraction,
+        mean_hops=cell.mean_hops,
+        max_hops=cell.max_hops,
+        mean_msgs_virgin=cell.mean_msgs_virgin,
+        mean_msgs_redundant=cell.mean_msgs_redundant,
+        mean_msgs_to_dead=cell.mean_msgs_to_dead,
+        mean_total_messages=cell.mean_total_messages,
+    )
+
+
+def effectiveness_figure(
+    result: SweepResult,
+    scenario: str,
+    num_nodes: int,
+    label: Optional[str] = None,
+    kill_fraction: Optional[float] = None,
+    churn_rate: Optional[float] = None,
+):
+    """Build an :class:`~repro.experiments.figures.EffectivenessFigure`
+    from one scenario slice of a sweep (the bench/figure bridge).
+
+    A figure plots one curve per (protocol, fanout), so the slice must
+    be unambiguous: when the sweep ran several kill fractions or churn
+    rates, pass ``kill_fraction=``/``churn_rate=`` to pick one —
+    otherwise the overlap raises instead of silently overwriting one
+    fraction's data with another's.
+    """
+    from repro.experiments.figures import EffectivenessFigure
+
+    cells = [
+        c
+        for c in result.cells
+        if c.scenario == scenario
+        and c.num_nodes == num_nodes
+        and (kill_fraction is None or c.kill_fraction == kill_fraction)
+        and (churn_rate is None or c.churn_rate == churn_rate)
+    ]
+    if not cells:
+        raise KeyError(
+            f"sweep has no cells for scenario={scenario!r} N={num_nodes}"
+        )
+    seen: set = set()
+    for cell in cells:
+        point = (cell.protocol, cell.fanout)
+        if point in seen:
+            raise KeyError(
+                f"scenario {scenario!r} slice is ambiguous at "
+                f"{point}: multiple kill fractions/churn rates; pass "
+                "kill_fraction=/churn_rate= to select one"
+            )
+        seen.add(point)
+    fanouts = tuple(sorted({c.fanout for c in cells}))
+    protocols = sorted({c.protocol for c in cells})
+    stats = {
+        protocol: {
+            cell.fanout: effectiveness_stats_of(cell)
+            for cell in cells
+            if cell.protocol == protocol
+        }
+        for protocol in protocols
+    }
+    return EffectivenessFigure(
+        label=label or f"sweep:{scenario}",
+        fanouts=fanouts,
+        stats=stats,
+    )

@@ -99,13 +99,21 @@ class EventEngine:
         """Run every event with timestamp <= ``time``; settle clock at ``time``.
 
         Returns the number of events executed by this call.
+
+        ``step()`` is the single source of truth for the loop: the peek
+        only bounds the horizon, and an iteration counts as executed
+        only if ``step()`` actually fired an event. (A peeked event can
+        disappear before its pop — e.g. cancelled by a hook between
+        iterations — and must then neither advance the counter nor let
+        the loop pop an event beyond the horizon.)
         """
         executed = 0
         while True:
             next_time = self._queue.peek_time()
             if next_time is None or next_time > time:
                 break
-            self.step()
+            if not self.step():
+                break
             executed += 1
         self.clock.advance_to(max(time, self.clock.now))
         return executed

@@ -24,12 +24,16 @@ class Event:
         seq: Tie-breaking insertion sequence number.
         action: Zero-argument callable executed when the event fires.
         cancelled: Cancelled events stay in the heap but are skipped.
+        popped: Set once the queue has handed the event out; a popped
+            event no longer counts as live, so a late ``cancel`` must
+            not decrement the live counter again.
     """
 
     time: float
     seq: int
     action: Callable[[], Any] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    popped: bool = field(default=False, compare=False)
 
     def cancel(self) -> None:
         """Mark the event so the engine skips it when popped."""
@@ -71,6 +75,7 @@ class EventQueue:
             event = heapq.heappop(self._heap)
             if event.cancelled:
                 continue
+            event.popped = True
             self._live -= 1
             return event
         return None
@@ -84,10 +89,16 @@ class EventQueue:
         return self._heap[0].time
 
     def cancel(self, event: Event) -> None:
-        """Cancel a previously pushed event (idempotent)."""
-        if not event.cancelled:
-            event.cancel()
-            self._live -= 1
+        """Cancel a previously pushed event (idempotent).
+
+        Cancelling an event that was already popped (typically: already
+        executed) is a harmless no-op — it must not disturb the live
+        count of the events still queued.
+        """
+        if event.popped or event.cancelled:
+            return
+        event.cancel()
+        self._live -= 1
 
     def __len__(self) -> int:
         return self._live

@@ -100,12 +100,100 @@ class TestRunExperiment:
             run_experiment(scenario="apocalypse")
 
 
+class TestRunSweepApi:
+    def test_returns_aggregated_result(self):
+        from repro.api import run_sweep
+        from repro.experiments.sweep_results import SweepResult
+
+        result = run_sweep(
+            scenarios=("static",),
+            protocols=("ringcast",),
+            num_nodes=(40,),
+            fanouts=(2, 3),
+            replicates=1,
+            num_messages=2,
+            scale="tiny",
+            seed=9,
+            warmup_cycles=10,
+        )
+        assert isinstance(result, SweepResult)
+        assert result.root_seed == 9
+        assert len(result.trials) == 2
+        assert result.cell("static", "ringcast", 40, 2).replicates == 1
+
+    def test_rejects_unknown_scenario(self):
+        from repro.api import run_sweep
+
+        with pytest.raises(ConfigurationError):
+            run_sweep(scenarios=("apocalypse",))
+
+
 class TestCli:
     def test_parser_has_all_figures(self):
         parser = build_parser()
         text = parser.format_help()
-        for name in ("fig6", "fig9", "fig13", "all", "demo"):
+        for name in ("fig6", "fig9", "fig13", "all", "demo", "sweep"):
             assert name in text
+
+    def test_sweep_subcommand_prints_cells(self, capsys, tmp_path):
+        code = main(
+            [
+                "sweep",
+                "--scale",
+                "tiny",
+                "--seed",
+                "4",
+                "--protocols",
+                "ringcast",
+                "--nodes",
+                "40",
+                "--fanouts",
+                "2,3",
+                "--replicates",
+                "1",
+                "--messages",
+                "2",
+                "--warmup",
+                "10",
+                "--json",
+                str(tmp_path / "sweep.json"),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "[sweep:static]" in out
+        assert "ringcast" in out
+        assert (tmp_path / "sweep.json").exists()
+
+    def test_sweep_cache_resume(self, capsys, tmp_path):
+        argv = [
+            "sweep",
+            "--scale",
+            "tiny",
+            "--seed",
+            "4",
+            "--protocols",
+            "ringcast",
+            "--nodes",
+            "40",
+            "--fanouts",
+            "2",
+            "--replicates",
+            "1",
+            "--messages",
+            "2",
+            "--warmup",
+            "10",
+            "--cache",
+            str(tmp_path),
+            "--verbose",
+        ]
+        main(argv)
+        first = capsys.readouterr().out
+        main(argv)
+        second = capsys.readouterr().out
+        assert "(cached)" not in first
+        assert "(cached)" in second
 
     def test_fig6_runs_at_tiny_scale(self, capsys, monkeypatch):
         from repro.experiments import figures

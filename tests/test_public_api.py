@@ -14,7 +14,7 @@ import repro
 
 class TestTopLevelExports:
     def test_version(self):
-        assert repro.__version__ == "1.0.0"
+        assert repro.__version__ == "1.1.0"
 
     def test_all_exports_resolve(self):
         for name in repro.__all__:
@@ -51,6 +51,7 @@ class TestDoctests:
             "repro.sim.events",
             "repro.sim.engine",
             "repro.membership.ring_ids",
+            "repro.experiments.sweep",
             "repro.metrics.aggregate",
             "repro.metrics.load",
             "repro.graphs.generators",

@@ -1,6 +1,8 @@
 """Tests for ring identity space and proximity selection."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.membership.ring_ids import (
     OrderedRingProximity,
@@ -37,6 +39,77 @@ class TestDistances:
 
     def test_circular_zero(self):
         assert circular_distance(3, 3) == 0
+
+
+# A ring of arbitrary size with points on it: the metric invariants
+# must hold for every space, not just the default 2^32 ID space.
+_spaced_points = st.integers(min_value=2, max_value=2**40).flatmap(
+    lambda space: st.tuples(
+        st.just(space),
+        st.integers(min_value=0, max_value=space - 1),
+        st.integers(min_value=0, max_value=space - 1),
+        st.integers(min_value=0, max_value=space - 1),
+    )
+)
+
+_PROPERTY_SETTINGS = settings(max_examples=80, deadline=None)
+
+
+class TestDistanceProperties:
+    """Hypothesis invariants of the ring metric (paper §6 proximity)."""
+
+    @_PROPERTY_SETTINGS
+    @given(points=_spaced_points)
+    def test_circular_symmetric_any_space(self, points):
+        space, a, b, _c = points
+        assert circular_distance(a, b, space) == circular_distance(
+            b, a, space
+        )
+
+    @_PROPERTY_SETTINGS
+    @given(points=_spaced_points)
+    def test_circular_identity_and_bound(self, points):
+        space, a, b, _c = points
+        assert circular_distance(a, a, space) == 0
+        assert 0 <= circular_distance(a, b, space) <= space // 2
+
+    @_PROPERTY_SETTINGS
+    @given(points=_spaced_points)
+    def test_triangle_inequality_on_ring(self, points):
+        space, a, b, c = points
+        assert circular_distance(a, c, space) <= (
+            circular_distance(a, b, space)
+            + circular_distance(b, c, space)
+        )
+
+    @_PROPERTY_SETTINGS
+    @given(points=_spaced_points)
+    def test_forward_plus_backward_is_space(self, points):
+        space, a, b, _c = points
+        forward = clockwise_distance(a, b, space)
+        backward = clockwise_distance(b, a, space)
+        if a == b:
+            assert forward == backward == 0
+        else:
+            assert forward + backward == space
+
+    @_PROPERTY_SETTINGS
+    @given(points=_spaced_points)
+    def test_circular_is_min_of_directions(self, points):
+        space, a, b, _c = points
+        assert circular_distance(a, b, space) == min(
+            clockwise_distance(a, b, space),
+            clockwise_distance(b, a, space),
+        )
+
+    @_PROPERTY_SETTINGS
+    @given(points=_spaced_points)
+    def test_translation_invariance(self, points):
+        # Rotating both points around the ring preserves distance.
+        space, a, b, shift = points
+        assert circular_distance(a, b, space) == circular_distance(
+            (a + shift) % space, (b + shift) % space, space
+        )
 
 
 class TestRingProximity:

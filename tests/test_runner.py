@@ -76,3 +76,34 @@ class TestRegenerateAll:
         # Caches are warm from the fixture: this is instantaneous.
         result = regenerate_all(CONFIG)
         assert set(result) == EXPECTED_NAMES
+
+
+class TestParallelRegeneration:
+    """``workers > 1`` prewarms scenarios through the sweep engine's
+    process pool; the rendered tables must be identical to serial."""
+
+    SMALL = ExperimentConfig(
+        num_nodes=80,
+        warmup_cycles=30,
+        num_messages=3,
+        num_networks=1,
+        fanouts=(2, 3),
+        seed=31,
+        churn_rate=0.02,
+        churn_networks=1,
+        churn_max_cycles=400,
+    )
+
+    def test_parallel_matches_serial(self):
+        figures.clear_caches()
+        serial = regenerate_all(self.SMALL)
+        figures.clear_caches()
+        progress_log = []
+        parallel = regenerate_all(
+            self.SMALL,
+            workers=2,
+            progress=lambda name, secs: progress_log.append(name),
+        )
+        figures.clear_caches()
+        assert serial == parallel
+        assert progress_log[0] == "prewarm"

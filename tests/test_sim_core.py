@@ -112,6 +112,33 @@ class TestEventQueue:
         assert times == [1.0, 2.0, 3.0]
         assert not q
 
+    def test_cancel_after_pop_keeps_live_count_sane(self):
+        # A late cancel of an already-popped event must not decrement
+        # the live counter below the number of queued events.
+        q = EventQueue()
+        first = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        popped = q.pop()
+        assert popped is first
+        q.cancel(first)
+        assert len(q) == 1
+        assert bool(q)
+        assert q.pop().time == 2.0
+        assert len(q) == 0
+        assert not q
+
+    def test_cancel_after_pop_on_empty_queue(self):
+        q = EventQueue()
+        event = q.push(1.0, lambda: None)
+        q.pop()
+        q.cancel(event)
+        q.cancel(event)
+        assert len(q) == 0
+        assert not q
+        # The queue is still usable afterwards.
+        q.push(3.0, lambda: None)
+        assert len(q) == 1
+
 
 class TestEventEngine:
     def test_runs_in_time_order(self):
@@ -185,6 +212,65 @@ class TestEventEngine:
         engine.schedule_at(1.0, lambda: None)
         engine.run()
         assert engine.executed == 1
+
+    def test_run_until_empty_queue_settles_clock(self):
+        engine = EventEngine()
+        assert engine.run_until(5.0) == 0
+        assert engine.now == 5.0
+        assert engine.pending == 0
+
+    def test_run_until_does_not_rewind_clock(self):
+        engine = EventEngine()
+        engine.schedule_at(4.0, lambda: None)
+        engine.run()
+        assert engine.run_until(2.0) == 0
+        assert engine.now == 4.0
+
+    def test_run_max_events_zero_is_a_noop(self):
+        engine = EventEngine()
+        engine.schedule_at(1.0, lambda: None)
+        assert engine.run(max_events=0) == 0
+        assert engine.pending == 1
+        assert engine.executed == 0
+        assert engine.now == 0.0
+
+    def test_cancel_already_executed_event_is_harmless(self):
+        engine = EventEngine()
+        fired = []
+        handle = engine.schedule_at(1.0, lambda: fired.append("x"))
+        engine.schedule_at(2.0, lambda: fired.append("y"))
+        engine.run(max_events=1)
+        engine.cancel(handle)  # handle already popped and executed
+        engine.cancel(handle)  # idempotent
+        assert engine.pending == 1
+        assert engine.run() == 1
+        assert fired == ["x", "y"]
+
+    def test_run_until_with_action_cancelling_due_event(self):
+        # An executing event cancels another event that is still due
+        # within the horizon: the loop must neither execute it nor
+        # count it, and the executed total must reflect reality.
+        engine = EventEngine()
+        fired = []
+        victim = engine.schedule_at(2.0, lambda: fired.append("victim"))
+        engine.schedule_at(1.0, lambda: engine.cancel(victim))
+        executed = engine.run_until(3.0)
+        assert executed == 1
+        assert fired == []
+        assert engine.pending == 0
+        assert engine.now == 3.0
+
+    def test_run_until_counts_only_real_executions(self):
+        engine = EventEngine()
+        fired = []
+        engine.schedule_at(1.0, lambda: fired.append(1))
+        keep = engine.schedule_at(5.0, lambda: fired.append(5))
+        assert engine.run_until(4.0) == 1
+        assert engine.executed == 1
+        engine.cancel(keep)
+        assert engine.run_until(6.0) == 0
+        assert engine.executed == 1
+        assert fired == [1]
 
 
 class TestLatencyModels:
