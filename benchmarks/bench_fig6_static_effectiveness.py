@@ -14,7 +14,12 @@ exponentially with the fanout and its complete-dissemination share
 rises steeply from 0% to 100%.
 """
 
-from benchmarks.conftest import once, record_table, sweep_workers
+from benchmarks.conftest import (
+    once,
+    record_table,
+    sweep_backend,
+    sweep_workers,
+)
 from repro.experiments.report import render_effectiveness
 from repro.experiments.sweep import SweepGrid, run_sweep
 from repro.experiments.sweep_results import effectiveness_figure
@@ -36,6 +41,7 @@ def test_fig6_static_effectiveness(benchmark, cfg):
             base_config=cfg,
             root_seed=cfg.seed,
             workers=sweep_workers(),
+            backend=sweep_backend(),
         ),
     )
     data = effectiveness_figure(

@@ -13,7 +13,12 @@ complete disseminations at small fanouts.
 
 import pytest
 
-from benchmarks.conftest import once, record_table, sweep_workers
+from benchmarks.conftest import (
+    once,
+    record_table,
+    sweep_backend,
+    sweep_workers,
+)
 from repro.experiments.report import render_effectiveness
 from repro.experiments.sweep import SweepGrid, run_sweep
 from repro.experiments.sweep_results import effectiveness_figure
@@ -37,6 +42,7 @@ def test_fig9_catastrophic(benchmark, cfg, fraction):
             base_config=cfg,
             root_seed=cfg.seed,
             workers=sweep_workers(),
+            backend=sweep_backend(),
         ),
     )
     data = effectiveness_figure(

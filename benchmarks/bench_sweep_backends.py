@@ -1,0 +1,86 @@
+"""Sweep-engine scaling: workers=1 vs workers=N, across backends.
+
+PR 2's open question — does the process pool actually buy wall clock
+on multi-core hardware? — gets measured here: the same grid runs
+through the inline backend (serial reference), the process pool at
+``sweep_workers()`` width, and the socket work-queue backend with two
+local workers. Timings land in ``results/BENCH_sweep.json`` so the
+speedup is recorded data, not an anecdote; byte-identity across the
+three runs is asserted while we're at it (timing a sweep that silently
+diverged would measure nothing).
+
+Grid size is deliberately modest (16 trials at N=60) so the bench runs
+in tens of seconds; the *ratio* between serial and parallel time is
+the signal, and on a single-core container it honestly reports ~1x.
+"""
+
+import os
+import time
+
+from benchmarks.conftest import BENCH_SEED, once, record_json, sweep_workers
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.sweep import SweepGrid, run_sweep
+
+BASE = ExperimentConfig(
+    num_nodes=60, warmup_cycles=30, seed=BENCH_SEED
+)
+
+GRID = SweepGrid(
+    scenarios=("static",),
+    protocols=("randcast", "ringcast"),
+    num_nodes=(60,),
+    fanouts=(1, 2, 3, 4),
+    replicates=2,
+    num_messages=3,
+)
+
+
+def _timed(**kwargs):
+    started = time.perf_counter()
+    result = run_sweep(
+        GRID, base_config=BASE, root_seed=BENCH_SEED, **kwargs
+    )
+    return result, time.perf_counter() - started
+
+
+def test_sweep_backend_scaling(benchmark):
+    workers = max(2, sweep_workers())
+
+    serial, serial_seconds = _timed(backend="inline")
+    parallel, parallel_seconds = once(
+        benchmark,
+        lambda: _timed(workers=workers, backend="process"),
+    )
+    socket_result, socket_seconds = _timed(workers=2, backend="socket")
+
+    # Timing a diverged sweep would measure nothing.
+    assert parallel.to_json() == serial.to_json()
+    assert socket_result.to_json() == serial.to_json()
+
+    record_json(
+        "BENCH_sweep",
+        {
+            "grid": {
+                "scenarios": list(GRID.scenarios),
+                "protocols": list(GRID.protocols),
+                "num_nodes": list(GRID.num_nodes),
+                "fanouts": list(GRID.fanouts),
+                "replicates": GRID.replicates,
+                "num_messages": GRID.num_messages,
+                "trials": len(GRID.expand()),
+            },
+            "cpu_count": os.cpu_count(),
+            "workers": workers,
+            "inline_seconds": round(serial_seconds, 3),
+            "process_seconds": round(parallel_seconds, 3),
+            "process_speedup": round(
+                serial_seconds / parallel_seconds, 3
+            ),
+            "socket_workers": 2,
+            "socket_seconds": round(socket_seconds, 3),
+            "socket_speedup": round(
+                serial_seconds / socket_seconds, 3
+            ),
+            "byte_identical_across_backends": True,
+        },
+    )

@@ -24,6 +24,7 @@ from typing import List, Tuple
 import pytest
 
 from repro.experiments.config import scale_config
+from repro.experiments.sweep_results import canonical_json
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 BENCH_SEED = 42
@@ -36,6 +37,14 @@ def record_table(name: str, text: str) -> None:
     _TABLES.append((name, text))
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+
+def record_json(name: str, payload: dict) -> Path:
+    """Persist a structured benchmark record as canonical JSON."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    target = RESULTS_DIR / f"{name}.json"
+    target.write_text(canonical_json(payload) + "\n", encoding="utf-8")
+    return target
 
 
 @pytest.fixture(scope="session")
@@ -54,6 +63,17 @@ def sweep_workers() -> int:
     if override:
         return max(1, int(override))
     return min(8, os.cpu_count() or 1)
+
+
+def sweep_backend():
+    """Execution backend for sweep-engine benches.
+
+    ``REPRO_SWEEP_BACKEND`` selects ``inline``, ``process``, or
+    ``socket``; the default (``None``) keeps the engine's historical
+    auto-selection. Results are byte-identical under every backend, so
+    this only changes where the CPU time is spent.
+    """
+    return os.environ.get("REPRO_SWEEP_BACKEND") or None
 
 
 def once(benchmark, fn):

@@ -154,6 +154,8 @@ def run_sweep(
     workers: int = 1,
     cache_dir: Optional[Union[str, Path]] = None,
     progress=None,
+    backend: Optional[str] = None,
+    listen: Optional[Tuple[str, int]] = None,
     **config_overrides,
 ) -> SweepResult:
     """Run a declarative (protocol × N × fanout × scenario × seed) grid.
@@ -163,6 +165,13 @@ def run_sweep(
     ``replicates``) and are byte-for-byte identical at any worker
     count. ``cache_dir`` enables resume: completed trials are persisted
     and skipped on re-runs.
+
+    ``backend`` picks the execution backend (``"inline"``,
+    ``"process"``, or ``"socket"`` — a TCP work queue that spreads
+    trials over ``repro sweep-worker`` processes, local or remote;
+    ``listen`` is its bind address). The default keeps the historical
+    behaviour: inline at ``workers=1``, a local process pool otherwise.
+    Results are byte-identical whichever backend runs them.
 
     Scenario names come from
     :mod:`repro.experiments.scenario_matrix` (``static``,
@@ -193,4 +202,6 @@ def run_sweep(
         workers=workers,
         cache_dir=cache_dir,
         progress=progress,
+        backend=backend,
+        listen=listen,
     )

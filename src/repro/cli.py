@@ -12,17 +12,26 @@ Running sweeps
 --------------
 
 ``repro sweep`` expands a declarative (scenario × protocol × N ×
-fanout × seed-replicate) grid, executes the trials across worker
-processes, and prints per-cell aggregates (mean ± 95% CI)::
+fanout × seed-replicate) grid, executes the trials through the chosen
+backend, and prints per-cell aggregates (mean ± 95% CI)::
 
     repro sweep --workers 4
     repro sweep --scenarios static,catastrophic --fanouts 1,2,3,4,6 \\
         --nodes 200,400 --replicates 3 --workers 8
     repro sweep --scenarios multi_message,pull_churn --cache runs/ \\
         --json runs/sweep.json
+    repro sweep --backend socket --workers 4        # local TCP workers
+    repro sweep --backend socket --workers 0 \\
+        --listen 0.0.0.0:7777                       # remote workers
 
-Results are byte-identical at any ``--workers`` value; ``--cache DIR``
-persists finished trials so an interrupted sweep resumes for free.
+``--backend`` picks inline (serial), process (local pool), or socket —
+a TCP work-queue server; remote hosts join a socket sweep with::
+
+    repro sweep-worker --connect server-host:7777
+
+Results are byte-identical at any ``--workers`` value and under every
+backend; ``--cache DIR`` persists finished trials so an interrupted
+sweep resumes for free. See ``docs/distributed_sweeps.md``.
 
 Scales: tiny, small (default), medium, paper — see
 :mod:`repro.experiments.config`.
@@ -36,6 +45,7 @@ from pathlib import Path
 from typing import List, Optional, Tuple
 
 from repro.api import build_overlay, disseminate
+from repro.common.errors import ConfigurationError
 from repro.experiments import figures as fig
 from repro.experiments import report
 from repro.experiments.config import scale_config
@@ -196,6 +206,7 @@ def _run_all(args) -> None:
         out_dir=args.out,
         progress=lambda name, secs: print(f"({name} took {secs:.1f}s)"),
         workers=args.workers,
+        backend=args.backend,
     )
     for name, text in tables.items():
         print(f"=== {name} ===")
@@ -217,10 +228,20 @@ def _csv_floats(text: str) -> Tuple[float, ...]:
 
 def _run_sweep(args) -> None:
     from repro.api import run_sweep
+    from repro.experiments.sweep_backends import parse_endpoint
 
     overrides = {}
     if args.warmup is not None:
         overrides["warmup_cycles"] = args.warmup
+    if args.listen is not None and args.backend != "socket":
+        # Silently running a local pool while remote workers try to
+        # connect to a port nobody opened would be a cruel failure mode.
+        raise ConfigurationError(
+            "--listen only applies to --backend socket"
+        )
+    listen = (
+        parse_endpoint(args.listen) if args.listen is not None else None
+    )
     done = {"count": 0}
 
     def narrate(key: str, seconds: float, cached: bool) -> None:
@@ -244,6 +265,8 @@ def _run_sweep(args) -> None:
         workers=args.workers,
         cache_dir=args.cache,
         progress=narrate if args.verbose else None,
+        backend=args.backend,
+        listen=listen,
         **overrides,
     )
     text = report.render_sweep(result)
@@ -251,6 +274,21 @@ def _run_sweep(args) -> None:
     if args.json is not None:
         path = result.save(args.json)
         print(f"(aggregated sweep written to {path})")
+
+
+def _run_sweep_worker(args) -> None:
+    from repro.experiments.sweep_backends import run_worker
+
+    def narrate(key: str, seconds: float) -> None:
+        print(f"[worker] {key} (~{seconds:.1f}s)")
+
+    completed = run_worker(
+        args.connect,
+        max_trials=args.max_trials,
+        crash_after=args.crash_after,
+        progress=narrate if args.verbose else None,
+    )
+    print(f"(worker completed {completed} trials)")
 
 
 def _run_demo(args) -> None:
@@ -302,6 +340,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="parallel worker processes for the scenario runs "
         "(default: 1; results identical at any value)",
     )
+    sub.add_argument(
+        "--backend",
+        choices=("inline", "process"),
+        default=None,
+        help="execution backend for the scenario prewarm (default: "
+        "inline at --workers 1, process otherwise)",
+    )
     sub.set_defaults(func=_run_all)
     sub = subparsers.add_parser(
         "sweep",
@@ -309,10 +354,13 @@ def build_parser() -> argparse.ArgumentParser:
         "grid and print per-cell aggregates",
         description=(
             "Expand a declarative parameter grid into independent "
-            "trials, execute them across worker processes, and "
+            "trials, execute them through the selected backend "
+            "(inline, a local process pool, or a socket work queue "
+            "feeding repro sweep-worker processes on any host), and "
             "aggregate per cell (mean and 95% CI over replicates). "
-            "Results are byte-identical at any --workers value; "
-            "--cache enables resume of interrupted sweeps."
+            "Results are byte-identical at any --workers value and "
+            "under every backend; --cache enables resume of "
+            "interrupted sweeps."
         ),
     )
     _add_common(sub)
@@ -389,7 +437,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers",
         type=int,
         default=1,
-        help="parallel worker processes (default: 1)",
+        help="execution width: pool processes (process backend) or "
+        "spawned local workers (socket backend; 0 = external workers "
+        "only) (default: 1)",
+    )
+    sub.add_argument(
+        "--backend",
+        choices=("inline", "process", "socket"),
+        default=None,
+        help="trial execution backend: inline (serial, debugging), "
+        "process (local pool), or socket (TCP work queue for "
+        "'repro sweep-worker' processes, local or remote); default: "
+        "inline at --workers 1, process otherwise — results are "
+        "byte-identical under every backend",
+    )
+    sub.add_argument(
+        "--listen",
+        default=None,
+        metavar="HOST:PORT",
+        help="bind address for the socket backend (default: "
+        "127.0.0.1 on an ephemeral port; use 0.0.0.0:PORT to accept "
+        "workers from other hosts)",
     )
     sub.add_argument(
         "--cache",
@@ -409,6 +477,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="narrate per-trial progress",
     )
     sub.set_defaults(func=_run_sweep)
+    sub = subparsers.add_parser(
+        "sweep-worker",
+        help="serve a socket-backend sweep as a worker process",
+        description=(
+            "Connect to a 'repro sweep --backend socket' server, "
+            "execute the trials it dispatches, and stream results "
+            "back. Run one per core on as many hosts as you like; "
+            "workers may join and leave mid-sweep, and a crashed "
+            "worker's in-flight trial is re-dispatched."
+        ),
+    )
+    sub.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="sweep server to connect to",
+    )
+    sub.add_argument(
+        "--max-trials",
+        type=int,
+        default=None,
+        help="leave gracefully after this many trials (default: serve "
+        "until the sweep ends)",
+    )
+    sub.add_argument(
+        "--crash-after",
+        type=int,
+        default=None,
+        help="TESTING: hard-exit on receiving the next trial after "
+        "this many completions (simulates a worker crash)",
+    )
+    sub.add_argument(
+        "--verbose",
+        action="store_true",
+        help="narrate per-trial progress",
+    )
+    sub.set_defaults(func=_run_sweep_worker)
     sub = subparsers.add_parser(
         "demo", help="60-second RINGCAST vs RANDCAST demonstration"
     )

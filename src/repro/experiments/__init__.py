@@ -15,8 +15,10 @@ evaluation figures as structured data;
 :mod:`repro.experiments.report` renders them as paper-style tables;
 and :mod:`repro.experiments.sweep` expands declarative
 (scenario × protocol × N × fanout × seed) grids into independent
-trials executed in parallel across worker processes, with
-deterministic aggregation and resume-from-cache
+trials executed through a pluggable backend — serial, local process
+pool, or a TCP work queue spanning hosts
+(:mod:`repro.experiments.sweep_backends`) — with deterministic
+aggregation and resume-from-cache
 (:mod:`repro.experiments.sweep_results`,
 :mod:`repro.experiments.scenario_matrix`).
 """
@@ -46,6 +48,13 @@ from repro.experiments.scenarios import (
     run_static_scenario,
 )
 from repro.experiments.sweep import SweepGrid, execute_jobs, run_sweep
+from repro.experiments.sweep_backends import (
+    InlineBackend,
+    ProcessPoolBackend,
+    SocketWorkerBackend,
+    SweepBackend,
+    resolve_backend,
+)
 from repro.experiments.sweep_results import (
     CellSummary,
     SweepResult,
@@ -59,8 +68,12 @@ __all__ = [
     "ConvergenceCurve",
     "ExperimentConfig",
     "FanoutSweep",
+    "InlineBackend",
     "OverlaySpec",
+    "ProcessPoolBackend",
     "RingConvergenceProbe",
+    "SocketWorkerBackend",
+    "SweepBackend",
     "SweepGrid",
     "SweepResult",
     "TrialResult",
@@ -71,6 +84,7 @@ __all__ = [
     "make_node_factory",
     "measure_ring_convergence",
     "regenerate_all",
+    "resolve_backend",
     "run_catastrophic_scenario",
     "run_churn_scenario",
     "run_static_scenario",

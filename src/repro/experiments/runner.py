@@ -52,7 +52,9 @@ def _churn_job(config: ExperimentConfig, kind: str):
 
 
 def _prewarm_scenarios(
-    config: ExperimentConfig, workers: int
+    config: ExperimentConfig,
+    workers: int,
+    backend: Optional[str] = None,
 ) -> None:
     """Run every scenario the figures need, in parallel, and prime the
     memoised caches."""
@@ -71,7 +73,7 @@ def _prewarm_scenarios(
         ]
         + [(_churn_job, (config, kind)) for kind in churn_keys]
     )
-    results = execute_jobs(jobs, workers=workers)
+    results = execute_jobs(jobs, workers=workers, backend=backend)
     cursor = 0
     static = dict(zip(static_keys, results[: len(static_keys)]))
     cursor += len(static_keys)
@@ -102,6 +104,7 @@ def regenerate_all(
     out_dir: Optional[Path] = None,
     progress: Optional[ProgressHook] = None,
     workers: int = 1,
+    backend: Optional[str] = None,
 ) -> Dict[str, str]:
     """Regenerate Figs. 6–13 and return ``{figure name: rendered table}``.
 
@@ -116,15 +119,23 @@ def regenerate_all(
         workers: When ``> 1``, the underlying scenario runs execute in
             parallel worker processes first (identical results, less
             wall clock on multi-core machines).
+        backend: Execution backend for the scenario prewarm
+            (``"inline"`` or ``"process"``; scenario jobs carry whole
+            overlay objects, which don't cross the socket backend's
+            typed JSON wire format).
 
     Figures share scenario runs through the module-level caches in
     :mod:`repro.experiments.figures`, so the full set costs only one
     static sweep, one catastrophic sweep per kill fraction, and one
     churn run — per protocol.
     """
-    if workers > 1:
+    # An explicit backend choice must not be silently dropped at the
+    # default workers=1, so it triggers the prewarm path too (the
+    # prewarm runs the same scenario set the figures would, so extra
+    # cost is ~zero; it just primes the caches up front).
+    if workers > 1 or backend is not None:
         started = time.perf_counter()
-        _prewarm_scenarios(config, workers)
+        _prewarm_scenarios(config, workers, backend)
         if progress is not None:
             progress("prewarm", time.perf_counter() - started)
 

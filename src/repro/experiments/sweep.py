@@ -4,29 +4,36 @@ The paper's evaluation is a grid of (protocol, N, fanout, scenario,
 seed) trials; the figure pipeline runs them serially. This module
 expands a declarative :class:`SweepGrid` into independent
 :class:`~repro.experiments.sweep_results.TrialSpec` cells and executes
-them across a :class:`concurrent.futures.ProcessPoolExecutor`.
+them through a pluggable
+:class:`~repro.experiments.sweep_backends.SweepBackend` — serially
+in-process (``inline``), across a local process pool (``process``), or
+over a TCP work queue spanning several hosts (``socket``; workers run
+``repro sweep-worker --connect host:port``).
 
 Determinism is the design constraint: each trial derives its entire RNG
 universe from ``(root_seed, spec.key)`` via
 :meth:`~repro.common.rng.RngRegistry.spawn`, results are collected in
 grid-expansion order regardless of completion order, and aggregation is
-bit-stable — so a sweep produces byte-identical JSON whether it ran on
-one worker or sixteen (``tests/test_golden_determinism.py`` pins this).
+bit-stable — so a sweep produces byte-identical JSON no matter which
+backend ran it, at any worker count
+(``tests/test_golden_determinism.py`` and
+``tests/test_sweep_backends.py`` pin this).
 
 Completed trials can be persisted to a cache directory; re-running the
 same sweep (or a superset grid) skips them, which turns an interrupted
-overnight sweep into a cheap resume.
+overnight sweep into a cheap resume. The per-trial cache is also the
+unit of distribution: socket workers stream finished trials back into
+it one by one.
 
-:func:`execute_jobs` exposes the same deterministic-order pool for
+:func:`execute_jobs` exposes the same deterministic-order execution for
 callers that need full scenario objects rather than trial metrics —
 :func:`repro.experiments.runner.regenerate_all` uses it to parallelise
-figure regeneration.
+figure regeneration (inline/process backends only; the socket wire
+format carries typed trials, not arbitrary callables).
 """
 
 from __future__ import annotations
 
-import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from pathlib import Path
 from typing import (
@@ -43,10 +50,13 @@ from typing import (
 from repro.common.errors import ConfigurationError
 from repro.experiments.config import ExperimentConfig, OverlaySpec
 from repro.experiments.scenario_matrix import (
-    execute_trial,
     resolve_scenario,
     scenario_names,
     trial_config,
+)
+from repro.experiments.sweep_backends import (
+    SweepBackend,
+    resolve_backend,
 )
 from repro.experiments.sweep_results import (
     SweepResult,
@@ -182,50 +192,29 @@ class SweepGrid:
 
 
 # ----------------------------------------------------------------------
-# deterministic-order process pool
+# deterministic-order execution
 # ----------------------------------------------------------------------
 
 Job = Tuple[Callable[..., Any], Tuple[Any, ...]]
 
 
-def _call_job(job: Job) -> Any:
-    fn, args = job
-    return fn(*args)
-
-
 def execute_jobs(
-    jobs: Sequence[Job], workers: int = 1
+    jobs: Sequence[Job],
+    workers: int = 1,
+    backend: Union[str, SweepBackend, None] = None,
 ) -> List[Any]:
     """Run picklable ``(fn, args)`` jobs; results come back in job order.
 
     ``workers=1`` executes inline (no pool, no pickling) — the
     debugging and determinism baseline. Results never depend on
-    completion order, only on job order.
+    completion order, only on job order. ``backend`` selects
+    ``"inline"`` or ``"process"`` explicitly; the socket backend is
+    rejected here because generic callables don't cross its typed
+    JSON wire format.
     """
     if workers < 1:
         raise ConfigurationError(f"workers must be >= 1, got {workers}")
-    if workers == 1 or len(jobs) <= 1:
-        return [_call_job(job) for job in jobs]
-    with ProcessPoolExecutor(max_workers=min(workers, len(jobs))) as pool:
-        futures = [pool.submit(_call_job, job) for job in jobs]
-        return [future.result() for future in futures]
-
-
-def _execute_spec(
-    spec: TrialSpec,
-    config: ExperimentConfig,
-    root_seed: int,
-    executor: Callable,
-) -> Tuple[TrialResult, float]:
-    """Worker entry point: run one trial, timing it in the worker.
-
-    The scenario executor is resolved in the parent and shipped with
-    the job, so scenarios registered at runtime survive spawn-based
-    worker pools (where the child only re-imports the built-ins).
-    """
-    started = time.perf_counter()
-    result = execute_trial(executor, spec, config, root_seed)
-    return result, time.perf_counter() - started
+    return resolve_backend(backend, workers=workers).run_jobs(list(jobs))
 
 
 def run_sweep(
@@ -235,6 +224,8 @@ def run_sweep(
     workers: int = 1,
     cache_dir: Optional[Union[str, Path]] = None,
     progress: Optional[SweepProgress] = None,
+    backend: Union[str, SweepBackend, None] = None,
+    listen: Optional[Tuple[str, int]] = None,
 ) -> SweepResult:
     """Expand ``grid``, execute every trial, aggregate into a result.
 
@@ -245,14 +236,21 @@ def run_sweep(
             population/fanout/message fields. Defaults to
             :class:`ExperimentConfig`'s paper-mirroring defaults.
         root_seed: Root of every trial's RNG universe.
-        workers: Process-pool width; ``1`` runs inline. Any value
+        workers: Execution width — pool processes for the ``process``
+            backend, spawned local worker processes for ``socket``
+            (``0`` there means external workers only). Any value
             produces identical results — parallelism is pure speed.
         cache_dir: When given, finished trials are persisted there and
             already-cached trials are skipped on re-runs (resume).
         progress: Optional ``(trial_key, seconds, cached)`` callback.
+        backend: ``"inline"``, ``"process"``, ``"socket"``, a
+            :class:`~repro.experiments.sweep_backends.SweepBackend`
+            instance, or ``None`` for the historical default (inline
+            at ``workers=1``, process pool otherwise).
+        listen: ``(host, port)`` the socket backend binds; ignored by
+            the in-process backends.
     """
-    if workers < 1:
-        raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    backend_obj = resolve_backend(backend, workers=workers, listen=listen)
     config = base_config if base_config is not None else ExperimentConfig()
     specs = grid.expand()
 
@@ -300,30 +298,10 @@ def run_sweep(
         scenario: resolve_scenario(scenario)
         for scenario in grid.scenarios
     }
-    if workers == 1 or len(pending) <= 1:
-        for index, spec in pending:
-            result, seconds = _execute_spec(
-                spec, config, root_seed, executors[spec.scenario]
-            )
-            finish(index, spec, result, seconds)
-    elif pending:
-        with ProcessPoolExecutor(
-            max_workers=min(workers, len(pending))
-        ) as pool:
-            futures = {
-                pool.submit(
-                    _execute_spec,
-                    spec,
-                    config,
-                    root_seed,
-                    executors[spec.scenario],
-                ): (index, spec)
-                for index, spec in pending
-            }
-            for future in as_completed(futures):
-                index, spec = futures[future]
-                result, seconds = future.result()
-                finish(index, spec, result, seconds)
+    if pending:
+        backend_obj.run_trials(
+            tuple(pending), config, root_seed, executors, finish
+        )
 
     ordered = tuple(results[index] for index in range(len(specs)))
     return SweepResult(root_seed=root_seed, trials=ordered)

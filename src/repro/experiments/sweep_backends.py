@@ -1,0 +1,903 @@
+"""Pluggable trial-execution backends for the sweep engine.
+
+:func:`repro.experiments.sweep.run_sweep` expands a grid into
+independent :class:`~repro.experiments.sweep_results.TrialSpec` cells;
+*how* those cells execute is this module's job. Three backends share
+one contract — run every pending trial exactly once and report each
+result through a ``finish`` callback on the caller's thread:
+
+* :class:`InlineBackend` — serial, in-process. The debugging and
+  determinism baseline; no pickling, no subprocesses.
+* :class:`ProcessPoolBackend` — a local
+  :class:`~concurrent.futures.ProcessPoolExecutor`, one machine wide.
+* :class:`SocketWorkerBackend` — a TCP work-queue server. Workers
+  (``repro sweep-worker --connect host:port``) may live on any host;
+  the server serialises trials to them over a length-prefixed
+  canonical-JSON wire format, re-dispatches the in-flight trial of any
+  worker that crashes or disconnects, and accepts workers joining and
+  leaving mid-sweep.
+
+Because every trial's outcome is a pure function of ``(root_seed,
+spec, config)``, the backend choice — like the worker count and which
+worker ran which trial — never changes a single byte of the sweep's
+canonical JSON (``tests/test_sweep_backends.py`` pins this across all
+three backends, including under an injected worker crash).
+
+The socket wire format is deliberately JSON, not pickle: frames are
+``4-byte big-endian length + canonical JSON``, so workers of any build
+can validate what they run, and a hypothesis property test can pin the
+encode → frame → decode round-trip as lossless and key-stable.
+
+One caveat for the socket backend: workers resolve scenarios by name
+in their own process, so scenarios registered at runtime in the parent
+(:func:`~repro.experiments.scenario_matrix.register_scenario`) must
+also be importable/registered on the worker side. The inline and
+process backends ship the resolved executor and have no such limit.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import queue
+import socket
+import struct
+import subprocess
+import sys
+import threading
+import time
+from abc import ABC, abstractmethod
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import asdict
+from pathlib import Path
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.common.errors import ConfigurationError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.scenario_matrix import execute_trial, run_trial
+from repro.experiments.sweep_results import (
+    TrialResult,
+    TrialSpec,
+    canonical_json,
+)
+
+__all__ = [
+    "BACKEND_NAMES",
+    "FrameDecoder",
+    "InlineBackend",
+    "ProcessPoolBackend",
+    "ProtocolError",
+    "SocketWorkerBackend",
+    "SweepBackend",
+    "SweepWorkerError",
+    "WIRE_FORMAT",
+    "config_from_wire",
+    "config_to_wire",
+    "decode_frames",
+    "encode_frame",
+    "parse_endpoint",
+    "resolve_backend",
+    "run_worker",
+]
+
+# Bump when the socket message schema changes; mismatched workers are
+# turned away at the handshake instead of mis-running trials.
+WIRE_FORMAT = 1
+
+BACKEND_NAMES = ("inline", "process", "socket")
+
+# finish(index, spec, result, seconds) — invoked on the caller's
+# thread, once per pending trial, in completion order.
+FinishHook = Callable[[int, TrialSpec, TrialResult, float], None]
+PendingTrials = Sequence[Tuple[int, TrialSpec]]
+TrialExecutors = Mapping[str, Callable]
+
+_HEADER = struct.Struct(">I")
+# A trial message is a few KB; anything near this is protocol garbage
+# (e.g. a stray HTTP client), not a sweep peer.
+MAX_FRAME_BYTES = 8 * 1024 * 1024
+_RECV_CHUNK = 65536
+_POLL_SECONDS = 0.2
+
+
+class ProtocolError(RuntimeError):
+    """The socket wire format was violated (bad frame, bad message)."""
+
+
+class SweepWorkerError(RuntimeError):
+    """A socket sweep could not complete (worker failure, no workers)."""
+
+
+# ----------------------------------------------------------------------
+# wire format: 4-byte big-endian length + canonical JSON
+# ----------------------------------------------------------------------
+
+
+def encode_frame(message: Mapping[str, Any]) -> bytes:
+    """Serialise one protocol message into a length-prefixed frame."""
+    body = canonical_json(dict(message)).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(body)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit"
+        )
+    return _HEADER.pack(len(body)) + body
+
+
+class FrameDecoder:
+    """Incremental frame parser: feed raw bytes, get whole messages.
+
+    TCP has no message boundaries, so the decoder buffers partial
+    frames across :meth:`feed` calls; any chunking of the byte stream
+    decodes to the same message sequence (property-tested).
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> List[Dict[str, Any]]:
+        """Absorb ``data``; return every now-complete message."""
+        self._buffer.extend(data)
+        messages: List[Dict[str, Any]] = []
+        while len(self._buffer) >= _HEADER.size:
+            (length,) = _HEADER.unpack_from(self._buffer)
+            if length > MAX_FRAME_BYTES:
+                raise ProtocolError(
+                    f"incoming frame claims {length} bytes "
+                    f"(limit {MAX_FRAME_BYTES}); peer is not speaking "
+                    "the sweep protocol"
+                )
+            if len(self._buffer) < _HEADER.size + length:
+                break
+            body = bytes(
+                self._buffer[_HEADER.size : _HEADER.size + length]
+            )
+            del self._buffer[: _HEADER.size + length]
+            try:
+                message = json.loads(body.decode("utf-8"))
+            except (UnicodeDecodeError, ValueError) as exc:
+                raise ProtocolError(f"undecodable frame body: {exc}")
+            if not isinstance(message, dict):
+                raise ProtocolError(
+                    f"frame body must be a JSON object, got "
+                    f"{type(message).__name__}"
+                )
+            messages.append(message)
+        return messages
+
+
+def decode_frames(data: bytes) -> List[Dict[str, Any]]:
+    """Decode a complete byte string of back-to-back frames."""
+    decoder = FrameDecoder()
+    messages = decoder.feed(data)
+    if decoder._buffer:
+        raise ProtocolError(
+            f"{len(decoder._buffer)} trailing bytes after the last "
+            "complete frame"
+        )
+    return messages
+
+
+def config_to_wire(config: ExperimentConfig) -> Dict[str, Any]:
+    """An :class:`ExperimentConfig` as a JSON-safe mapping."""
+    return asdict(config)
+
+
+def config_from_wire(payload: Mapping[str, Any]) -> ExperimentConfig:
+    """Rebuild a config from its wire form (JSON turned tuples into
+    lists; coerce them back so frozen-dataclass equality holds)."""
+    coerced = {
+        key: tuple(value) if isinstance(value, list) else value
+        for key, value in payload.items()
+    }
+    return ExperimentConfig(**coerced)
+
+
+def parse_endpoint(text: str) -> Tuple[str, int]:
+    """``"host:port"`` → ``(host, port)`` (IPv4 / hostname)."""
+    host, sep, port = text.rpartition(":")
+    if not sep or not host:
+        raise ConfigurationError(
+            f"endpoint {text!r} is not of the form host:port"
+        )
+    try:
+        number = int(port)
+    except ValueError:
+        raise ConfigurationError(
+            f"endpoint {text!r} has a non-numeric port"
+        ) from None
+    if not 0 <= number <= 65535:
+        raise ConfigurationError(f"port {number} out of range")
+    return host, number
+
+
+def _recv_message(
+    conn: socket.socket,
+    decoder: FrameDecoder,
+    inbox: List[Dict[str, Any]],
+) -> Dict[str, Any]:
+    """Block until one whole message is available on ``conn``."""
+    while not inbox:
+        data = conn.recv(_RECV_CHUNK)
+        if not data:
+            raise ConnectionError("peer closed the connection")
+        inbox.extend(decoder.feed(data))
+    return inbox.pop(0)
+
+
+def _enable_keepalive(conn: socket.socket) -> None:
+    """Make a vanished peer (power loss, partition — no FIN/RST) error
+    out of ``recv`` in ~a minute instead of the kernel-default hours,
+    so its in-flight trial gets re-dispatched rather than hanging the
+    sweep. The tuning knobs are Linux-specific; elsewhere plain
+    keepalive still applies."""
+    conn.setsockopt(socket.SOL_SOCKET, socket.SO_KEEPALIVE, 1)
+    for name, value in (
+        ("TCP_KEEPIDLE", 30),
+        ("TCP_KEEPINTVL", 10),
+        ("TCP_KEEPCNT", 3),
+    ):
+        if hasattr(socket, name):
+            try:
+                conn.setsockopt(
+                    socket.IPPROTO_TCP, getattr(socket, name), value
+                )
+            except OSError:
+                pass
+
+
+# ----------------------------------------------------------------------
+# the backend contract
+# ----------------------------------------------------------------------
+
+
+def run_timed_trial(
+    spec: TrialSpec,
+    config: ExperimentConfig,
+    root_seed: int,
+    executor: Callable,
+) -> Tuple[TrialResult, float]:
+    """Run one trial with the given executor, timing it where it runs."""
+    started = time.perf_counter()
+    result = execute_trial(executor, spec, config, root_seed)
+    return result, time.perf_counter() - started
+
+
+class SweepBackend(ABC):
+    """How a sweep's pending trials get executed.
+
+    Implementations must call ``finish(index, spec, result, seconds)``
+    exactly once per pending trial, from the caller's thread — the
+    sweep engine does cache writes and progress narration inside it.
+    Completion *order* is free; the engine reassembles grid order.
+    """
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def run_trials(
+        self,
+        pending: PendingTrials,
+        config: ExperimentConfig,
+        root_seed: int,
+        executors: TrialExecutors,
+        finish: FinishHook,
+    ) -> None:
+        """Execute every ``(index, spec)`` pair and report via ``finish``."""
+
+    def run_jobs(self, jobs: Sequence[Tuple[Callable, Tuple]]) -> List[Any]:
+        """Run generic picklable ``(fn, args)`` jobs in job order.
+
+        Only the in-process backends support this (the figure runner's
+        prewarm path); the socket protocol ships typed trials, not
+        arbitrary callables.
+        """
+        raise ConfigurationError(
+            f"the {self.name!r} backend only executes sweep trials, not "
+            "generic (fn, args) jobs; use the 'inline' or 'process' "
+            "backend here"
+        )
+
+
+class InlineBackend(SweepBackend):
+    """Serial in-process execution — no pickling, no subprocesses."""
+
+    name = "inline"
+
+    def run_trials(
+        self, pending, config, root_seed, executors, finish
+    ) -> None:
+        for index, spec in pending:
+            result, seconds = run_timed_trial(
+                spec, config, root_seed, executors[spec.scenario]
+            )
+            finish(index, spec, result, seconds)
+
+    def run_jobs(self, jobs) -> List[Any]:
+        return [fn(*args) for fn, args in jobs]
+
+
+def _call_job(job: Tuple[Callable, Tuple]) -> Any:
+    fn, args = job
+    return fn(*args)
+
+
+class ProcessPoolBackend(SweepBackend):
+    """A local process pool — one machine, ``workers`` cores."""
+
+    name = "process"
+
+    def __init__(self, workers: int = 2) -> None:
+        if workers < 1:
+            raise ConfigurationError(
+                f"workers must be >= 1, got {workers}"
+            )
+        self.workers = workers
+
+    def run_trials(
+        self, pending, config, root_seed, executors, finish
+    ) -> None:
+        if self.workers == 1 or len(pending) <= 1:
+            # A one-wide pool is pure overhead; run inline.
+            InlineBackend().run_trials(
+                pending, config, root_seed, executors, finish
+            )
+            return
+        with ProcessPoolExecutor(
+            max_workers=min(self.workers, len(pending))
+        ) as pool:
+            futures = {
+                pool.submit(
+                    run_timed_trial,
+                    spec,
+                    config,
+                    root_seed,
+                    executors[spec.scenario],
+                ): (index, spec)
+                for index, spec in pending
+            }
+            for future in as_completed(futures):
+                index, spec = futures[future]
+                result, seconds = future.result()
+                finish(index, spec, result, seconds)
+
+    def run_jobs(self, jobs) -> List[Any]:
+        if self.workers == 1 or len(jobs) <= 1:
+            return InlineBackend().run_jobs(jobs)
+        with ProcessPoolExecutor(
+            max_workers=min(self.workers, len(jobs))
+        ) as pool:
+            futures = [pool.submit(_call_job, job) for job in jobs]
+            return [future.result() for future in futures]
+
+
+# ----------------------------------------------------------------------
+# socket work-queue backend
+# ----------------------------------------------------------------------
+
+
+class _ServerState:
+    """Shared state between the acceptor/handler threads and the
+    collecting main thread."""
+
+    def __init__(
+        self,
+        pending: PendingTrials,
+        config: ExperimentConfig,
+        root_seed: int,
+    ) -> None:
+        self.jobs: "queue.Queue[Tuple[int, TrialSpec]]" = queue.Queue()
+        for item in pending:
+            self.jobs.put(item)
+        self.results: "queue.Queue[Tuple]" = queue.Queue()
+        self.stop = threading.Event()
+        self.config_wire = config_to_wire(config)
+        self.root_seed = root_seed
+        self.connections_seen = 0
+        self.active_handlers = 0
+        self.lock = threading.Lock()
+
+
+class SocketWorkerBackend(SweepBackend):
+    """A TCP work-queue server distributing trials to worker processes.
+
+    Args:
+        workers: Local worker processes to spawn (``repro sweep-worker``
+            subprocesses connecting over loopback). ``0`` spawns none —
+            the sweep then waits for external workers to connect to
+            ``listen``.
+        listen: ``(host, port)`` to bind; port ``0`` picks a free one.
+            Use ``("0.0.0.0", fixed_port)`` to accept workers from
+            other hosts.
+        extra_worker_args: Extra argument tuples, one additional local
+            worker spawned per entry with those flags appended (tests
+            use this to inject ``--crash-after`` workers).
+        idle_timeout: Seconds without any connected worker and without
+            progress before the sweep gives up (prevents a server with
+            no workers from hanging forever).
+        max_respawns: Crash-respawn budget for the spawned local
+            workers (default ``2 * workers``). Injected
+            ``extra_worker_args`` workers are never respawned.
+
+    Workers may join and leave at any time; a worker that disconnects
+    with a trial in flight gets that trial re-dispatched to another
+    worker. A worker *reporting a trial exception* aborts the sweep —
+    trials are deterministic, so retrying elsewhere cannot help.
+
+    The bound address is published as :attr:`address` once the server
+    is listening (see :meth:`wait_listening`) so external workers and
+    tests can find an ephemeral port.
+    """
+
+    name = "socket"
+
+    def __init__(
+        self,
+        workers: int = 2,
+        listen: Tuple[str, int] = ("127.0.0.1", 0),
+        extra_worker_args: Sequence[Sequence[str]] = (),
+        idle_timeout: float = 120.0,
+        max_respawns: Optional[int] = None,
+    ) -> None:
+        if workers < 0:
+            raise ConfigurationError(
+                f"workers must be >= 0, got {workers}"
+            )
+        if workers == 0 and not extra_worker_args:
+            # Valid — external workers only — but keep the obvious
+            # misconfiguration (no workers at all, loopback ephemeral
+            # port nobody can discover) from hanging until timeout.
+            host, port = listen
+            if port == 0:
+                raise ConfigurationError(
+                    "socket backend with workers=0 needs a fixed listen "
+                    "port for external workers to connect to"
+                )
+        self.workers = workers
+        self.listen_address = (listen[0], int(listen[1]))
+        self.extra_worker_args = tuple(
+            tuple(args) for args in extra_worker_args
+        )
+        self.idle_timeout = idle_timeout
+        self.max_respawns = (
+            max_respawns if max_respawns is not None else 2 * workers
+        )
+        self.address: Optional[Tuple[str, int]] = None
+        self._listening = threading.Event()
+
+    def wait_listening(
+        self, timeout: float = 10.0
+    ) -> Tuple[str, int]:
+        """Block until the server socket is bound; return its address."""
+        if not self._listening.wait(timeout):
+            raise SweepWorkerError(
+                "socket backend did not start listening in time"
+            )
+        assert self.address is not None
+        return self.address
+
+    # -- worker process management ------------------------------------
+
+    def _worker_command(self, extra: Sequence[str]) -> List[str]:
+        assert self.address is not None
+        host, port = self.address
+        connect_host = "127.0.0.1" if host in ("0.0.0.0", "") else host
+        return [
+            sys.executable,
+            "-m",
+            "repro",
+            "sweep-worker",
+            "--connect",
+            f"{connect_host}:{port}",
+            *extra,
+        ]
+
+    def _spawn_worker(
+        self, extra: Sequence[str] = ()
+    ) -> "subprocess.Popen":
+        import repro
+
+        env = dict(os.environ)
+        package_root = str(Path(repro.__file__).resolve().parent.parent)
+        env["PYTHONPATH"] = os.pathsep.join(
+            part
+            for part in (package_root, env.get("PYTHONPATH", ""))
+            if part
+        )
+        return subprocess.Popen(
+            self._worker_command(extra),
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+            env=env,
+        )
+
+    # -- server threads ------------------------------------------------
+
+    def _accept_loop(
+        self, server: socket.socket, state: _ServerState
+    ) -> None:
+        server.settimeout(_POLL_SECONDS)
+        handlers: List[threading.Thread] = []
+        while not state.stop.is_set():
+            try:
+                conn, _addr = server.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            with state.lock:
+                state.connections_seen += 1
+            thread = threading.Thread(
+                target=self._serve_worker,
+                args=(conn, state),
+                daemon=True,
+            )
+            handlers.append(thread)
+            thread.start()
+        for thread in handlers:
+            thread.join(timeout=2.0)
+
+    def _serve_worker(
+        self, conn: socket.socket, state: _ServerState
+    ) -> None:
+        """One connected worker: handshake, then job/result round-trips.
+
+        Any connection failure with a trial in flight puts the trial
+        back on the queue — re-dispatch is the crash story.
+        """
+        registered = False
+        decoder = FrameDecoder()
+        inbox: List[Dict[str, Any]] = []
+        try:
+            _enable_keepalive(conn)
+            # Handshake deadline: a stray connection that never speaks
+            # (port scan, health probe) must not become a phantom
+            # worker that suppresses the idle-timeout.
+            conn.settimeout(10.0)
+            hello = _recv_message(conn, decoder, inbox)
+            if (
+                hello.get("type") != "hello"
+                or hello.get("format") != WIRE_FORMAT
+            ):
+                conn.sendall(
+                    encode_frame(
+                        {
+                            "type": "reject",
+                            "reason": (
+                                f"wire format {hello.get('format')!r} "
+                                f"!= {WIRE_FORMAT}"
+                            ),
+                        }
+                    )
+                )
+                return
+            conn.settimeout(None)
+            with state.lock:
+                state.active_handlers += 1
+            registered = True
+            while not state.stop.is_set():
+                try:
+                    job = state.jobs.get(timeout=_POLL_SECONDS)
+                except queue.Empty:
+                    continue
+                index, spec = job
+                try:
+                    conn.sendall(
+                        encode_frame(
+                            {
+                                "type": "trial",
+                                "job": index,
+                                "root_seed": state.root_seed,
+                                "spec": spec.to_dict(),
+                                "config": state.config_wire,
+                            }
+                        )
+                    )
+                    reply = _recv_message(conn, decoder, inbox)
+                except (OSError, ConnectionError, ProtocolError):
+                    state.jobs.put(job)  # crashed mid-trial: re-dispatch
+                    return
+                if (
+                    reply.get("type") == "result"
+                    and reply.get("job") == index
+                ):
+                    try:
+                        seconds = float(reply.get("seconds", 0.0))
+                    except (TypeError, ValueError):
+                        seconds = 0.0  # garbage timing isn't worth a crash
+                    state.results.put(
+                        ("done", index, spec, reply.get("result"), seconds)
+                    )
+                elif reply.get("type") == "error":
+                    state.results.put(
+                        (
+                            "fatal",
+                            f"worker failed trial {spec.key}: "
+                            f"{reply.get('error')}",
+                        )
+                    )
+                    return
+                else:
+                    # Protocol violation == crash: reclaim the trial.
+                    state.jobs.put(job)
+                    return
+        except (OSError, ConnectionError, ProtocolError):
+            return  # handshake/idle disconnect; nothing in flight
+        finally:
+            if registered:
+                with state.lock:
+                    state.active_handlers -= 1
+            try:
+                conn.sendall(encode_frame({"type": "shutdown"}))
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    # -- the collecting main loop --------------------------------------
+
+    def run_trials(
+        self, pending, config, root_seed, executors, finish
+    ) -> None:
+        if not pending:
+            return
+        state = _ServerState(pending, config, root_seed)
+        server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        try:
+            server.bind(self.listen_address)
+        except OSError:
+            server.close()
+            raise
+        server.listen()
+        self.address = server.getsockname()[:2]
+        self._listening.set()
+        acceptor = threading.Thread(
+            target=self._accept_loop, args=(server, state), daemon=True
+        )
+        acceptor.start()
+
+        spawned: List["subprocess.Popen"] = []
+        injected: List["subprocess.Popen"] = []
+        respawns_used = 0
+        try:
+            # Injected (test) workers first so they reliably see jobs.
+            for extra in self.extra_worker_args:
+                injected.append(self._spawn_worker(extra))
+            for _ in range(self.workers):
+                spawned.append(self._spawn_worker())
+
+            done = set()
+            total = len(pending)
+            # The idle clock measures how long we've been *worker-less*,
+            # not how long since the last finished trial — a crash after
+            # a minutes-long trial must still grant replacements the
+            # full idle_timeout window to join.
+            idle_since: Optional[float] = time.monotonic()
+            while len(done) < total:
+                try:
+                    item = state.results.get(timeout=_POLL_SECONDS)
+                except queue.Empty:
+                    respawns_used += self._revive_workers(
+                        spawned, respawns_used
+                    )
+                    idle_since = self._check_liveness(state, idle_since)
+                    continue
+                if item[0] == "fatal":
+                    raise SweepWorkerError(item[1])
+                _tag, index, spec, payload, seconds = item
+                if index in done:
+                    continue  # duplicate report; first result stands
+                try:
+                    result = TrialResult.from_dict(payload)
+                except Exception as exc:
+                    raise SweepWorkerError(
+                        f"worker returned an undecodable result for "
+                        f"{spec.key}: {exc}"
+                    )
+                if result.spec != spec:
+                    raise SweepWorkerError(
+                        f"worker returned a result for {result.spec.key}"
+                        f" when asked for {spec.key}"
+                    )
+                done.add(index)
+                finish(index, spec, result, seconds)
+        finally:
+            state.stop.set()
+            try:
+                server.close()
+            except OSError:
+                pass
+            acceptor.join(timeout=5.0)
+            self._reap_workers(spawned + injected)
+            self._listening.clear()
+            self.address = None
+
+    def _revive_workers(
+        self, spawned: List["subprocess.Popen"], used: int
+    ) -> int:
+        """Respawn crashed local workers within the budget; return how
+        many were replaced this round."""
+        revived = 0
+        for position, proc in enumerate(spawned):
+            if proc.poll() is None:
+                continue
+            if used + revived >= self.max_respawns:
+                break
+            spawned[position] = self._spawn_worker()
+            revived += 1
+        return revived
+
+    def _check_liveness(
+        self, state: _ServerState, idle_since: Optional[float]
+    ) -> Optional[float]:
+        """Advance the worker-less clock; raise once it runs out.
+
+        Returns the new ``idle_since``: ``None`` while any worker is
+        connected, otherwise the instant the server last became
+        worker-less.
+        """
+        with state.lock:
+            active = state.active_handlers
+        if active > 0:
+            return None  # workers are computing (or connected and idle)
+        if idle_since is None:
+            return time.monotonic()  # just lost the last worker
+        if time.monotonic() - idle_since > self.idle_timeout:
+            raise SweepWorkerError(
+                f"no connected workers for {self.idle_timeout:.0f}s; "
+                "start workers with 'repro sweep-worker --connect "
+                "HOST:PORT' or raise workers="
+            )
+        return idle_since
+
+    def _reap_workers(
+        self, procs: Sequence["subprocess.Popen"]
+    ) -> None:
+        for proc in procs:
+            if proc.poll() is None:
+                proc.terminate()
+        deadline = time.monotonic() + 5.0
+        for proc in procs:
+            remaining = max(0.0, deadline - time.monotonic())
+            try:
+                proc.wait(timeout=remaining)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait()
+
+
+# ----------------------------------------------------------------------
+# the worker process loop
+# ----------------------------------------------------------------------
+
+
+def run_worker(
+    connect: Union[str, Tuple[str, int]],
+    max_trials: Optional[int] = None,
+    crash_after: Optional[int] = None,
+    progress: Optional[Callable[[str, float], None]] = None,
+) -> int:
+    """Serve one sweep as a worker: connect, run trials, report results.
+
+    Used by ``repro sweep-worker --connect host:port``. Returns the
+    number of trials completed. ``max_trials`` makes the worker leave
+    gracefully after that many results (capacity-limited hosts);
+    ``crash_after`` hard-exits the process upon *receiving* the next
+    trial after that many completions — a test hook that simulates a
+    worker dying with a trial in flight.
+
+    Scenarios are resolved by name in this process
+    (:func:`~repro.experiments.scenario_matrix.run_trial`), so custom
+    scenarios must be registered/importable on the worker side.
+    """
+    endpoint = (
+        parse_endpoint(connect) if isinstance(connect, str) else connect
+    )
+    completed = 0
+    with socket.create_connection(endpoint) as conn:
+        # Symmetric to the server side: if the server host vanishes
+        # without a FIN, exit within ~a minute instead of holding the
+        # process in recv for the kernel-default hours.
+        _enable_keepalive(conn)
+        conn.sendall(
+            encode_frame({"type": "hello", "format": WIRE_FORMAT})
+        )
+        decoder = FrameDecoder()
+        inbox: List[Dict[str, Any]] = []
+        while True:
+            try:
+                message = _recv_message(conn, decoder, inbox)
+            except (OSError, ConnectionError):
+                return completed  # server went away: sweep is over
+            kind = message.get("type")
+            if kind in ("shutdown", "reject"):
+                return completed
+            if kind != "trial":
+                continue  # ignore unknown message types (forward compat)
+            if crash_after is not None and completed >= crash_after:
+                # Simulated crash: die with the trial in flight, no
+                # reply, no cleanup — the server must re-dispatch.
+                os._exit(17)
+            spec = TrialSpec.from_dict(message["spec"])
+            config = config_from_wire(message["config"])
+            started = time.perf_counter()
+            try:
+                result = run_trial(
+                    spec, config, int(message["root_seed"])
+                )
+            except Exception as exc:  # deterministic: report, don't retry
+                conn.sendall(
+                    encode_frame(
+                        {
+                            "type": "error",
+                            "job": message["job"],
+                            "error": f"{type(exc).__name__}: {exc}",
+                        }
+                    )
+                )
+                return completed
+            seconds = time.perf_counter() - started
+            conn.sendall(
+                encode_frame(
+                    {
+                        "type": "result",
+                        "job": message["job"],
+                        "seconds": seconds,
+                        "result": result.to_dict(),
+                    }
+                )
+            )
+            completed += 1
+            if progress is not None:
+                progress(spec.key, seconds)
+            if max_trials is not None and completed >= max_trials:
+                return completed
+
+
+# ----------------------------------------------------------------------
+# backend selection
+# ----------------------------------------------------------------------
+
+
+def resolve_backend(
+    backend: Union[str, SweepBackend, None] = None,
+    workers: int = 1,
+    listen: Optional[Tuple[str, int]] = None,
+) -> SweepBackend:
+    """Turn a backend name (or ``None`` for the historical default)
+    into a configured :class:`SweepBackend` instance.
+
+    ``None`` preserves the pre-backend behaviour: inline at
+    ``workers=1``, a local process pool otherwise. ``listen`` only
+    applies to the socket backend.
+    """
+    if isinstance(backend, SweepBackend):
+        return backend
+    if backend is None:
+        backend = "inline" if workers == 1 else "process"
+    if backend == "inline":
+        return InlineBackend()
+    if backend == "process":
+        return ProcessPoolBackend(workers=workers)
+    if backend == "socket":
+        return SocketWorkerBackend(
+            workers=workers,
+            listen=listen if listen is not None else ("127.0.0.1", 0),
+        )
+    raise ConfigurationError(
+        f"unknown sweep backend {backend!r}; expected one of "
+        f"{BACKEND_NAMES}"
+    )

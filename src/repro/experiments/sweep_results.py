@@ -508,6 +508,27 @@ def trial_cache_path(
     return Path(cache_dir) / f"trial_{digest}.json"
 
 
+def _result_is_sane(result: TrialResult) -> bool:
+    """Every measured value is a finite number.
+
+    ``json.loads`` happily parses ``NaN``/``Infinity``, and a single
+    NaN trial silently poisons every mean and CI it aggregates into —
+    so a cache entry carrying one is corruption, not data.
+    """
+    values = [
+        result.mean_miss_ratio,
+        result.complete_fraction,
+        result.mean_hops,
+        float(result.max_hops),
+        result.mean_msgs_virgin,
+        result.mean_msgs_redundant,
+        result.mean_msgs_to_dead,
+        result.mean_total_messages,
+    ]
+    values.extend(value for _name, value in result.extras)
+    return all(math.isfinite(value) for value in values)
+
+
 def load_cached_trial(
     cache_dir: Union[str, Path],
     spec: TrialSpec,
@@ -516,25 +537,38 @@ def load_cached_trial(
 ) -> Optional[TrialResult]:
     """Return the cached result for ``spec``, or ``None``.
 
-    Corrupt or mismatched cache files (truncated writes, hash
-    collisions, format drift) are treated as misses, never as errors.
+    Corrupt or mismatched cache files (truncated writes, wrong-shape
+    JSON, non-finite values, hash collisions, format drift) are
+    treated as misses, never as errors — the trial is simply re-run.
     """
     path = trial_cache_path(cache_dir, spec, root_seed, config_digest)
     try:
         payload = json.loads(path.read_text(encoding="utf-8"))
     except (OSError, ValueError):
         return None
+    if not isinstance(payload, dict):
+        return None  # e.g. a truncated write that still parses
     if payload.get("format") != CACHE_FORMAT:
         return None
     if payload.get("root_seed") != root_seed:
         return None
     if payload.get("config") != config_digest:
         return None
+    if not isinstance(payload.get("result"), dict):
+        return None
     try:
         result = TrialResult.from_dict(payload["result"])
-    except (KeyError, TypeError, ValueError, ConfigurationError):
+    except (
+        AttributeError,
+        KeyError,
+        TypeError,
+        ValueError,
+        ConfigurationError,
+    ):
         return None
     if result.spec != spec:
+        return None
+    if not _result_is_sane(result):
         return None
     return result
 

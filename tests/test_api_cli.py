@@ -132,8 +132,110 @@ class TestCli:
     def test_parser_has_all_figures(self):
         parser = build_parser()
         text = parser.format_help()
-        for name in ("fig6", "fig9", "fig13", "all", "demo", "sweep"):
+        for name in (
+            "fig6",
+            "fig9",
+            "fig13",
+            "all",
+            "demo",
+            "sweep",
+            "sweep-worker",
+        ):
             assert name in text
+
+    def test_sweep_backend_flags_parse(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            [
+                "sweep",
+                "--backend",
+                "socket",
+                "--workers",
+                "0",
+                "--listen",
+                "0.0.0.0:7777",
+            ]
+        )
+        assert args.backend == "socket"
+        assert args.workers == 0
+        assert args.listen == "0.0.0.0:7777"
+        # Default stays the historical auto-selection.
+        assert parser.parse_args(["sweep"]).backend is None
+        with pytest.raises(SystemExit):
+            parser.parse_args(["sweep", "--backend", "quantum"])
+
+    def test_sweep_worker_flags_parse(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            [
+                "sweep-worker",
+                "--connect",
+                "host:7777",
+                "--max-trials",
+                "3",
+                "--crash-after",
+                "1",
+            ]
+        )
+        assert args.connect == "host:7777"
+        assert args.max_trials == 3
+        assert args.crash_after == 1
+        with pytest.raises(SystemExit):
+            parser.parse_args(["sweep-worker"])  # --connect required
+
+    def test_listen_without_socket_backend_rejected(self):
+        # --listen with a local backend would silently run a pool
+        # while remote workers wait on a port nobody opened.
+        with pytest.raises(ConfigurationError, match="socket"):
+            main(
+                [
+                    "sweep",
+                    "--listen",
+                    "0.0.0.0:7777",
+                    "--workers",
+                    "2",
+                ]
+            )
+
+    def test_all_backend_rejects_socket(self):
+        # Figure prewarm jobs carry overlay objects that don't cross
+        # the socket wire format; argparse enforces the restriction.
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["all", "--backend", "socket"])
+        assert (
+            parser.parse_args(["all", "--backend", "process"]).backend
+            == "process"
+        )
+
+    def test_sweep_backend_inline_end_to_end(self, capsys, tmp_path):
+        code = main(
+            [
+                "sweep",
+                "--scale",
+                "tiny",
+                "--seed",
+                "4",
+                "--protocols",
+                "ringcast",
+                "--nodes",
+                "40",
+                "--fanouts",
+                "2",
+                "--replicates",
+                "1",
+                "--messages",
+                "2",
+                "--warmup",
+                "10",
+                "--backend",
+                "inline",
+                "--json",
+                str(tmp_path / "sweep.json"),
+            ]
+        )
+        assert code == 0
+        assert (tmp_path / "sweep.json").exists()
 
     def test_sweep_subcommand_prints_cells(self, capsys, tmp_path):
         code = main(

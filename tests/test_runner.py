@@ -107,3 +107,13 @@ class TestParallelRegeneration:
         figures.clear_caches()
         assert serial == parallel
         assert progress_log[0] == "prewarm"
+
+    def test_socket_backend_rejected_for_prewarm(self):
+        # Figure prewarm jobs carry whole scenario/overlay objects,
+        # which don't cross the socket backend's typed JSON wire.
+        from repro.common.errors import ConfigurationError
+
+        figures.clear_caches()
+        with pytest.raises(ConfigurationError, match="generic"):
+            regenerate_all(self.SMALL, workers=2, backend="socket")
+        figures.clear_caches()

@@ -526,6 +526,57 @@ class TestSweepCache:
         # The corrupt entry was rewritten with a valid payload.
         json.loads(victim.read_text(encoding="utf-8"))
 
+    def test_truncated_cache_entry_recomputed(self, tmp_path):
+        # A crash mid-write leaves a prefix of valid JSON; it must be
+        # treated as a miss and re-run, not crash the sweep.
+        small_sweep(cache_dir=tmp_path)
+        victim = sorted(tmp_path.glob("trial_*.json"))[1]
+        text = victim.read_text(encoding="utf-8")
+        victim.write_text(text[: len(text) // 2], encoding="utf-8")
+        events = []
+        resumed = small_sweep(
+            cache_dir=tmp_path,
+            progress=lambda key, secs, cached: events.append(cached),
+        )
+        assert events.count(False) == 1
+        assert resumed.to_json() == small_sweep().to_json()
+
+    def test_wrong_shape_cache_entry_recomputed(self, tmp_path):
+        # Valid JSON of the wrong shape (array / scalar / result that
+        # is not an object) must be a miss, not an AttributeError.
+        small_sweep(cache_dir=tmp_path)
+        victims = sorted(tmp_path.glob("trial_*.json"))[:3]
+        good = json.loads(victims[2].read_text(encoding="utf-8"))
+        good["result"] = [1, 2, 3]
+        victims[0].write_text("[1, 2, 3]", encoding="utf-8")
+        victims[1].write_text("42", encoding="utf-8")
+        victims[2].write_text(json.dumps(good), encoding="utf-8")
+        events = []
+        resumed = small_sweep(
+            cache_dir=tmp_path,
+            progress=lambda key, secs, cached: events.append(cached),
+        )
+        assert events.count(False) == 3
+        assert resumed.to_json() == small_sweep().to_json()
+
+    def test_non_finite_cache_entry_recomputed(self, tmp_path):
+        # json.loads parses NaN/Infinity; one poisoned trial would turn
+        # every mean and CI it touches into NaN. Reject and re-run.
+        small_sweep(cache_dir=tmp_path)
+        victim = sorted(tmp_path.glob("trial_*.json"))[0]
+        payload = json.loads(victim.read_text(encoding="utf-8"))
+        payload["result"]["mean_miss_ratio"] = float("nan")
+        victim.write_text(json.dumps(payload), encoding="utf-8")
+        events = []
+        resumed = small_sweep(
+            cache_dir=tmp_path,
+            progress=lambda key, secs, cached: events.append(cached),
+        )
+        assert events.count(False) == 1
+        clean = resumed.to_json()
+        assert clean == small_sweep().to_json()
+        assert "NaN" not in clean
+
     def test_cache_ignores_other_root_seed(self, tmp_path):
         spec = SMALL_GRID.expand()[0]
         result = run_trial(spec, BASE, 5)
