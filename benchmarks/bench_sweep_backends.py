@@ -15,6 +15,7 @@ the signal, and on a single-core container it honestly reports ~1x.
 """
 
 import os
+import platform
 import time
 
 from benchmarks.conftest import BENCH_SEED, once, record_json, sweep_workers
@@ -69,7 +70,16 @@ def test_sweep_backend_scaling(benchmark):
                 "num_messages": GRID.num_messages,
                 "trials": len(GRID.expand()),
             },
+            "spec_fingerprint": GRID.to_spec().fingerprint(),
             "cpu_count": os.cpu_count(),
+            # Hostname-independent hardware context: committed numbers
+            # from a 1-CPU container must not read as multi-core data.
+            "hardware": {
+                "cpu_count": os.cpu_count(),
+                "machine": platform.machine(),
+                "system": platform.system(),
+                "python": platform.python_version(),
+            },
             "workers": workers,
             "inline_seconds": round(serial_seconds, 3),
             "process_seconds": round(parallel_seconds, 3),

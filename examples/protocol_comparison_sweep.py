@@ -2,24 +2,31 @@
 """Scenario: choosing a fanout — the full RANDCAST vs RINGCAST sweep.
 
 A downstream user's first question is "what fanout do I need?". This
-example answers it with the parallel sweep engine: one declarative grid
+example answers it with the sweep engine driven by a *declarative spec
+file*: ``examples/specs/protocol_comparison.json`` describes one grid
 covering the static network (paper Figs. 6 + 8) and a 5% catastrophic
-failure (Fig. 9), expanded into independent trials, executed across
-worker processes, and aggregated per cell with 95% confidence
-intervals. The numbers are byte-identical at any worker count — try
-``--workers 8`` on a big machine.
+failure (Fig. 9) — which scenarios with which parameters, protocols,
+population, fanouts, replicates, seed, and scale — and this script
+just executes it. The same file runs unchanged from the command line::
+
+    repro sweep --spec examples/specs/protocol_comparison.json --workers 8
+
+Edit the JSON (or ``repro sweep ... --dump-spec mine.json`` to write
+your own) instead of editing code; see ``docs/sweep_specs.md`` for the
+format. The numbers are byte-identical at any worker count.
 
 Run:  python examples/protocol_comparison_sweep.py [--workers N]
 """
 
 import argparse
 import os
+from pathlib import Path
 
 from repro.api import run_sweep
 from repro.experiments.report import render_sweep
+from repro.experiments.sweep_spec import SweepSpec
 
-FANOUTS = (1, 2, 3, 4, 5, 6, 8)
-NUM_NODES = 400
+SPEC_FILE = Path(__file__).parent / "specs" / "protocol_comparison.json"
 
 
 def main():
@@ -32,23 +39,13 @@ def main():
     )
     args = parser.parse_args()
 
+    spec = SweepSpec.load(SPEC_FILE)
     print(
-        f"Sweeping fanouts {FANOUTS} over {NUM_NODES} nodes "
-        f"({args.workers} workers)...\n"
+        f"Sweeping fanouts {spec.fanouts} over {spec.num_nodes[0]} "
+        f"nodes ({len(spec.expand())} trials, {args.workers} workers, "
+        f"spec {spec.fingerprint()})...\n"
     )
-    result = run_sweep(
-        scenarios=("static", "catastrophic"),
-        protocols=("randcast", "ringcast"),
-        num_nodes=(NUM_NODES,),
-        fanouts=FANOUTS,
-        replicates=2,
-        num_messages=15,
-        kill_fractions=(0.05,),
-        scale="tiny",
-        seed=42,
-        workers=args.workers,
-        warmup_cycles=100,
-    )
+    result = run_sweep(spec=spec, workers=args.workers)
     print(render_sweep(result))
     print()
     print(

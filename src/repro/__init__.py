@@ -33,22 +33,26 @@ from repro.api import (
     disseminate,
     run_experiment,
     run_sweep,
+    scenario,
 )
 from repro.dissemination.executor import DisseminationResult
 from repro.dissemination.snapshot import OverlaySnapshot
 from repro.experiments.sweep import SweepGrid
 from repro.experiments.sweep_results import SweepResult
+from repro.experiments.sweep_spec import SweepSpec
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "DisseminationResult",
     "OverlaySnapshot",
     "SweepGrid",
     "SweepResult",
+    "SweepSpec",
     "__version__",
     "build_overlay",
     "disseminate",
     "run_experiment",
     "run_sweep",
+    "scenario",
 ]

@@ -14,8 +14,9 @@ True
 from __future__ import annotations
 
 import random
+import warnings
 from pathlib import Path
-from typing import Optional, Tuple, Union
+from typing import Optional, Sequence, Tuple, Union
 
 from repro.common.errors import ConfigurationError
 from repro.common.rng import RngRegistry
@@ -28,6 +29,11 @@ from repro.experiments.builder import (
     warm_up,
 )
 from repro.experiments.config import ExperimentConfig, OverlaySpec, scale_config
+from repro.experiments.scenario_matrix import (
+    registered_params,
+    scenario_names,
+    scenario_schema,
+)
 from repro.experiments.scenarios import (
     ChurnOutcome,
     FanoutSweep,
@@ -37,12 +43,19 @@ from repro.experiments.scenarios import (
 )
 from repro.experiments.sweep import SweepGrid, run_sweep as _run_sweep
 from repro.experiments.sweep_results import SweepResult
+from repro.experiments.sweep_spec import (
+    LEGACY_FLAT_DEFAULTS,
+    ScenarioSelection,
+    SweepSpec,
+    scenario,
+)
 
 __all__ = [
     "build_overlay",
     "disseminate",
     "run_experiment",
     "run_sweep",
+    "scenario",
 ]
 
 
@@ -108,12 +121,35 @@ def disseminate(
     )
 
 
+def _reject_unconsumed_params(scenario: str, names: Sequence[str]) -> None:
+    """Raise when a scenario parameter is passed to a scenario that
+    does not consume it (per the registered schemas) — silently
+    ignoring ``kill_fraction`` on a static run would misdescribe the
+    result."""
+    if scenario not in scenario_names():
+        return  # the caller reports the unknown scenario itself
+    consumed = set(scenario_schema(scenario).names())
+    known = registered_params()
+    for name in names:
+        if name in known and name not in consumed:
+            consumers = sorted(
+                other
+                for other in scenario_names()
+                if scenario_schema(other).param(name) is not None
+            )
+            raise ConfigurationError(
+                f"scenario {scenario!r} does not consume parameter "
+                f"{name!r} (consumed by: {consumers}); drop it instead "
+                "of relying on it being ignored"
+            )
+
+
 def run_experiment(
     scenario: str = "static",
     protocol: str = "ringcast",
     scale: Optional[str] = None,
     seed: Optional[int] = None,
-    kill_fraction: float = 0.05,
+    kill_fraction: Optional[float] = None,
     **overrides,
 ) -> Union[FanoutSweep, ChurnOutcome]:
     """Run one full evaluation scenario at a named scale.
@@ -121,7 +157,15 @@ def run_experiment(
     ``scenario`` is ``"static"``, ``"catastrophic"`` or ``"churn"``;
     extra keyword arguments override
     :class:`~repro.experiments.config.ExperimentConfig` fields.
+
+    Scenario parameters are validated against the registered schemas:
+    passing a parameter the chosen scenario does not consume (e.g.
+    ``kill_fraction`` to ``static``) raises instead of being silently
+    ignored.
     """
+    if kill_fraction is not None:
+        _reject_unconsumed_params(scenario, ("kill_fraction",))
+    _reject_unconsumed_params(scenario, tuple(overrides))
     config = scale_config(scale, seed=seed)
     if overrides:
         config = config.with_overrides(**overrides)
@@ -129,7 +173,8 @@ def run_experiment(
     if scenario == "static":
         return run_static_scenario(config, spec)
     if scenario == "catastrophic":
-        return run_catastrophic_scenario(config, spec, kill_fraction)
+        fraction = 0.05 if kill_fraction is None else kill_fraction
+        return run_catastrophic_scenario(config, spec, fraction)
     if scenario == "churn":
         return run_churn_scenario(config, spec)
     raise ConfigurationError(
@@ -138,17 +183,27 @@ def run_experiment(
     )
 
 
+_GRID_KWARG_DEFAULTS = {
+    "scenarios": ("static",),
+    "protocols": ("randcast", "ringcast"),
+    "num_nodes": (150,),
+    "fanouts": (1, 2, 3, 4),
+    "replicates": 1,
+    "num_messages": 5,
+}
+
+
 def run_sweep(
-    scenarios: Tuple[str, ...] = ("static",),
-    protocols: Tuple[str, ...] = ("randcast", "ringcast"),
-    num_nodes: Tuple[int, ...] = (150,),
-    fanouts: Tuple[int, ...] = (1, 2, 3, 4),
-    replicates: int = 1,
-    num_messages: int = 5,
-    kill_fractions: Tuple[float, ...] = (0.05,),
-    churn_rates: Tuple[float, ...] = (0.01,),
-    concurrent_messages: int = 4,
-    pulls_per_round: int = 1,
+    scenarios: Optional[Sequence[Union[str, ScenarioSelection]]] = None,
+    protocols: Optional[Tuple[str, ...]] = None,
+    num_nodes: Optional[Tuple[int, ...]] = None,
+    fanouts: Optional[Tuple[int, ...]] = None,
+    replicates: Optional[int] = None,
+    num_messages: Optional[int] = None,
+    kill_fractions: Optional[Tuple[float, ...]] = None,
+    churn_rates: Optional[Tuple[float, ...]] = None,
+    concurrent_messages: Optional[int] = None,
+    pulls_per_round: Optional[int] = None,
     scale: Optional[str] = None,
     seed: Optional[int] = None,
     workers: int = 1,
@@ -156,6 +211,7 @@ def run_sweep(
     progress=None,
     backend: Optional[str] = None,
     listen: Optional[Tuple[str, int]] = None,
+    spec: Union[SweepSpec, str, Path, None] = None,
     **config_overrides,
 ) -> SweepResult:
     """Run a declarative (protocol × N × fanout × scenario × seed) grid.
@@ -166,6 +222,40 @@ def run_sweep(
     count. ``cache_dir`` enables resume: completed trials are persisted
     and skipped on re-runs.
 
+    **Three ways to describe the grid**, most preferred first:
+
+    1. ``spec=`` — a :class:`~repro.experiments.sweep_spec.SweepSpec`
+       (or a path to a spec JSON file). The spec may embed ``scale``,
+       ``seed`` and config overrides; explicit arguments here override
+       it.
+    2. Scenario *selections* — pass
+       :func:`~repro.experiments.sweep_spec.scenario` objects in
+       ``scenarios``::
+
+           run_sweep(scenarios=(scenario("churn",
+                                          churn_rate=[0.01, 0.05]),
+                                 "static"))
+
+       Each scenario carries exactly its own (schema-validated)
+       parameters; any sweepable parameter may be an axis.
+    3. Legacy flat kwargs (**deprecated**) — ``kill_fractions=``,
+       ``churn_rates=``, ``concurrent_messages=``,
+       ``pulls_per_round=``. These keep the historical semantics (and
+       byte-identical output), but emit a :class:`DeprecationWarning`
+       when passed explicitly.
+
+    Migration from the flat kwargs:
+
+    ==============================  ======================================
+    legacy kwarg                    new form
+    ==============================  ======================================
+    ``kill_fractions=(a, b)``       ``scenario("catastrophic", kill_fraction=[a, b])``
+    ``churn_rates=(a, b)``          ``scenario("churn", churn_rate=[a, b])``
+    ``concurrent_messages=n``       ``scenario("multi_message", concurrent_messages=n)``
+    ``pulls_per_round=n``           ``scenario("pull_churn", pulls_per_round=n)``
+    (whole call)                    ``spec=SweepSpec(...)`` / ``--spec file.json``
+    ==============================  ======================================
+
     ``backend`` picks the execution backend (``"inline"``,
     ``"process"``, or ``"socket"`` — a TCP work queue that spreads
     trials over ``repro sweep-worker`` processes, local or remote;
@@ -175,26 +265,126 @@ def run_sweep(
 
     Scenario names come from
     :mod:`repro.experiments.scenario_matrix` (``static``,
-    ``catastrophic``, ``churn``, ``multi_message``, ``pull_churn``);
+    ``catastrophic``, ``churn``, ``multi_message``, ``pull_churn``,
+    ``scheduling_optimal``, plus anything registered at runtime);
     extra keyword arguments override
     :class:`~repro.experiments.config.ExperimentConfig` fields of the
     per-trial base configuration (e.g. ``warmup_cycles=40``).
     """
-    base = scale_config(scale, seed=seed)
-    if config_overrides:
-        base = base.with_overrides(**config_overrides)
-    grid = SweepGrid(
-        scenarios=tuple(scenarios),
-        protocols=tuple(protocols),
-        num_nodes=tuple(num_nodes),
-        fanouts=tuple(fanouts),
-        replicates=replicates,
-        num_messages=num_messages,
-        kill_fractions=tuple(kill_fractions),
-        churn_rates=tuple(churn_rates),
-        concurrent_messages=concurrent_messages,
-        pulls_per_round=pulls_per_round,
+    legacy_passed = {
+        name: value
+        for name, value in (
+            ("kill_fractions", kill_fractions),
+            ("churn_rates", churn_rates),
+            ("concurrent_messages", concurrent_messages),
+            ("pulls_per_round", pulls_per_round),
+        )
+        if value is not None
+    }
+    if legacy_passed:
+        warnings.warn(
+            f"run_sweep's flat kwargs {sorted(legacy_passed)} are "
+            "deprecated; pass per-scenario parameters via "
+            "scenario(...) selections or a SweepSpec (see the "
+            "run_sweep docstring's migration table)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+
+    grid_passed = sorted(
+        name
+        for name, value in (
+            ("scenarios", scenarios),
+            ("protocols", protocols),
+            ("num_nodes", num_nodes),
+            ("fanouts", fanouts),
+            ("replicates", replicates),
+            ("num_messages", num_messages),
+        )
+        if value is not None
     )
+    if scenarios is None:
+        scenarios = _GRID_KWARG_DEFAULTS["scenarios"]
+    if protocols is None:
+        protocols = _GRID_KWARG_DEFAULTS["protocols"]
+    if num_nodes is None:
+        num_nodes = _GRID_KWARG_DEFAULTS["num_nodes"]
+    if fanouts is None:
+        fanouts = _GRID_KWARG_DEFAULTS["fanouts"]
+    if replicates is None:
+        replicates = _GRID_KWARG_DEFAULTS["replicates"]
+    if num_messages is None:
+        num_messages = _GRID_KWARG_DEFAULTS["num_messages"]
+
+    if spec is not None:
+        if legacy_passed:
+            raise ConfigurationError(
+                "spec= cannot be combined with the legacy flat kwargs "
+                f"{sorted(legacy_passed)}"
+            )
+        if grid_passed:
+            # Silently running the spec's grid while the caller
+            # believes e.g. replicates=5 applied would misdescribe
+            # their statistics; the CLI rejects the same combination.
+            raise ConfigurationError(
+                f"spec= already defines the grid; drop {grid_passed} "
+                "(edit the spec instead)"
+            )
+        if not isinstance(spec, SweepSpec):
+            spec = SweepSpec.load(spec)
+        grid: Union[SweepGrid, SweepSpec] = spec
+        base = scale_config(
+            scale if scale is not None else spec.scale,
+            seed=seed if seed is not None else spec.seed,
+        )
+        merged = dict(spec.config_overrides)
+        merged.update(config_overrides)
+        if merged:
+            base = base.with_overrides(**merged)
+    else:
+        base = scale_config(scale, seed=seed)
+        if config_overrides:
+            base = base.with_overrides(**config_overrides)
+        selections = tuple(
+            entry
+            for entry in scenarios
+            if isinstance(entry, ScenarioSelection)
+        )
+        if selections:
+            if legacy_passed:
+                raise ConfigurationError(
+                    "scenario(...) selections cannot be combined with "
+                    "the legacy flat kwargs "
+                    f"{sorted(legacy_passed)}; attach parameters to "
+                    "the selections instead"
+                )
+            grid = SweepSpec(
+                scenarios=tuple(scenarios),
+                protocols=tuple(protocols),
+                num_nodes=tuple(num_nodes),
+                fanouts=tuple(fanouts),
+                replicates=replicates,
+                num_messages=num_messages,
+            )
+        else:
+            # All-name scenarios with no selections: the historical
+            # flat-grid semantics, bit-for-bit (same trial keys, same
+            # RNG universes, same JSON) whether or not the deprecated
+            # kwargs are spelled out.
+            values = dict(LEGACY_FLAT_DEFAULTS)
+            values.update(legacy_passed)
+            grid = SweepGrid(
+                scenarios=tuple(scenarios),
+                protocols=tuple(protocols),
+                num_nodes=tuple(num_nodes),
+                fanouts=tuple(fanouts),
+                replicates=replicates,
+                num_messages=num_messages,
+                kill_fractions=tuple(values["kill_fractions"]),
+                churn_rates=tuple(values["churn_rates"]),
+                concurrent_messages=values["concurrent_messages"],
+                pulls_per_round=values["pulls_per_round"],
+            )
     return _run_sweep(
         grid,
         base_config=base,

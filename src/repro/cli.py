@@ -24,6 +24,28 @@ backend, and prints per-cell aggregates (mean ± 95% CI)::
     repro sweep --backend socket --workers 0 \\
         --listen 0.0.0.0:7777                       # remote workers
 
+Scenario parameters are *auto-generated* flags: every parameter a
+registered scenario declares in its schema
+(:mod:`repro.experiments.scenario_matrix`) becomes one ``--<param>``
+flag, CSV-valued when the parameter is sweepable — a scenario plugin
+registered at import time shows up in ``repro sweep --help`` with no
+CLI edits::
+
+    repro sweep --scenarios catastrophic --kill-fraction 0.05,0.1,0.2
+    repro sweep --scenarios scheduling_optimal --num-parts 1,4,16
+
+Sweeps also load from (and dump to) declarative spec files — the
+portable, serializable description of the whole grid (see
+``docs/sweep_specs.md``)::
+
+    repro sweep --dump-spec spec.json ...same flags...   # write, don't run
+    repro sweep --spec spec.json --workers 8             # run a spec file
+
+The historical flat flags (``--kill-fractions``, ``--churn-rates``,
+``--concurrent``, ``--pulls``) keep working with their exact old
+semantics and bytes, but are deprecated in favour of the per-scenario
+parameter flags and spec files.
+
 ``--backend`` picks inline (serial), process (local pool), or socket —
 a TCP work-queue server; remote hosts join a socket sweep with::
 
@@ -49,7 +71,12 @@ from repro.common.errors import ConfigurationError
 from repro.experiments import figures as fig
 from repro.experiments import report
 from repro.experiments.config import scale_config
-from repro.experiments.scenario_matrix import scenario_names
+from repro.experiments.scenario_matrix import (
+    registered_params,
+    scenario_names,
+    scenario_schema,
+    scenarios_consuming,
+)
 
 __all__ = ["main"]
 
@@ -226,13 +253,185 @@ def _csv_floats(text: str) -> Tuple[float, ...]:
     return tuple(float(part) for part in _csv(text))
 
 
-def _run_sweep(args) -> None:
-    from repro.api import run_sweep
-    from repro.experiments.sweep_backends import parse_endpoint
+# (legacy CLI flag, replacement) — the auto-generated per-parameter
+# flags and spec files supersede these, byte-identically.
+_DEPRECATED_SWEEP_FLAGS = {
+    "kill_fractions": ("--kill-fractions", "--kill-fraction"),
+    "churn_rates": ("--churn-rates", "--churn-rate"),
+    "concurrent": ("--concurrent", "--concurrent-messages"),
+    "pulls": ("--pulls", "--pulls-per-round"),
+}
+
+_SWEEP_GRID_DEFAULTS = {
+    "scenarios": ("static",),
+    "protocols": ("randcast", "ringcast"),
+    "nodes": (150,),
+    "fanouts": (1, 2, 3, 4),
+    "replicates": 2,
+    "messages": 5,
+}
+
+
+def _param_flag(name: str) -> str:
+    return "--" + name.replace("_", "-")
+
+
+def _sweep_selections(args, scenarios, param_values):
+    """Per-scenario selections from the auto-generated param flags.
+
+    Each given parameter attaches to exactly the selected scenarios
+    whose schema declares it; a parameter no selected scenario consumes
+    is rejected with the list of scenarios that would.
+    """
+    from repro.experiments.sweep_spec import scenario as make_selection
+
+    selections = []
+    consumed = set()
+    for name in scenarios:
+        schema = scenario_schema(name)  # raises for unknown names
+        params = {
+            param: values
+            for param, values in param_values.items()
+            if schema.param(param) is not None
+        }
+        consumed.update(params)
+        selections.append(make_selection(name, **params))
+    for param in sorted(set(param_values) - consumed):
+        consumers = scenarios_consuming(param)
+        raise ConfigurationError(
+            f"{_param_flag(param)} given, but none of the selected "
+            f"scenarios {tuple(scenarios)} consume {param!r} "
+            f"(consumed by: {list(consumers)})"
+        )
+    return tuple(selections)
+
+
+def _resolve_sweep_request(args):
+    """What this invocation describes: ``(spec_or_none, run_kwargs)``.
+
+    Three mutually-exclusive forms, mirroring ``api.run_sweep``:
+    ``--spec FILE``; auto-generated parameter flags (built into
+    scenario selections); or the legacy flat flags / bare defaults
+    (kept byte-identical, deprecation-noted when spelled out).
+    """
+    from repro.experiments.sweep_spec import SweepSpec, flat_spec
+
+    param_values = {
+        name: getattr(args, f"param_{name}")
+        for name in registered_params()
+        if getattr(args, f"param_{name}") is not None
+    }
+    legacy_given = {
+        name: getattr(args, name)
+        for name in _DEPRECATED_SWEEP_FLAGS
+        if getattr(args, name) is not None
+    }
+    if legacy_given:
+        replacements = ", ".join(
+            f"{_DEPRECATED_SWEEP_FLAGS[name][0]} -> "
+            f"{_DEPRECATED_SWEEP_FLAGS[name][1]}"
+            for name in sorted(legacy_given)
+        )
+        print(
+            f"note: deprecated sweep flags ({replacements}); see "
+            "docs/sweep_specs.md for the migration guide",
+            file=sys.stderr,
+        )
 
     overrides = {}
     if args.warmup is not None:
         overrides["warmup_cycles"] = args.warmup
+
+    if args.spec is not None:
+        grid_given = sorted(
+            f"--{flag}"
+            for flag in _SWEEP_GRID_DEFAULTS
+            if getattr(args, flag) is not None
+        )
+        conflicting = grid_given + [
+            _param_flag(name) for name in sorted(param_values)
+        ] + [
+            _DEPRECATED_SWEEP_FLAGS[name][0]
+            for name in sorted(legacy_given)
+        ]
+        if conflicting:
+            raise ConfigurationError(
+                f"--spec already defines the grid; drop {conflicting} "
+                "(edit the spec file instead)"
+            )
+        spec = SweepSpec.load(args.spec)
+        return spec, dict(spec=spec, **overrides)
+
+    grid = {
+        flag: (
+            getattr(args, flag)
+            if getattr(args, flag) is not None
+            else default
+        )
+        for flag, default in _SWEEP_GRID_DEFAULTS.items()
+    }
+    if param_values:
+        if legacy_given:
+            raise ConfigurationError(
+                "the deprecated flat flags "
+                f"{[_DEPRECATED_SWEEP_FLAGS[n][0] for n in sorted(legacy_given)]} "
+                "cannot be combined with per-scenario parameter flags "
+                f"{[_param_flag(n) for n in sorted(param_values)]}"
+            )
+        selections = _sweep_selections(args, grid["scenarios"], param_values)
+        spec = SweepSpec(
+            scenarios=selections,
+            protocols=grid["protocols"],
+            num_nodes=grid["nodes"],
+            fanouts=grid["fanouts"],
+            replicates=grid["replicates"],
+            num_messages=grid["messages"],
+            seed=args.seed,
+            scale=args.scale,
+            config_overrides=overrides,
+        )
+        return spec, dict(spec=spec, **overrides)
+
+    # Legacy flat form (or bare defaults): None legacy kwargs fall back
+    # to their historical defaults inside run_sweep without tripping
+    # the deprecation shim, so a plain `repro sweep` stays silent.
+    run_kwargs = dict(
+        scenarios=grid["scenarios"],
+        protocols=grid["protocols"],
+        num_nodes=grid["nodes"],
+        fanouts=grid["fanouts"],
+        replicates=grid["replicates"],
+        num_messages=grid["messages"],
+        kill_fractions=args.kill_fractions,
+        churn_rates=args.churn_rates,
+        concurrent_messages=args.concurrent,
+        pulls_per_round=args.pulls,
+        **overrides,
+    )
+    spec = flat_spec(
+        scenarios=grid["scenarios"],
+        protocols=grid["protocols"],
+        num_nodes=grid["nodes"],
+        fanouts=grid["fanouts"],
+        replicates=grid["replicates"],
+        num_messages=grid["messages"],
+        # None falls back to LEGACY_FLAT_DEFAULTS inside flat_spec —
+        # the same table run_sweep's deprecation shim reads.
+        kill_fractions=args.kill_fractions,
+        churn_rates=args.churn_rates,
+        concurrent_messages=args.concurrent,
+        pulls_per_round=args.pulls,
+        seed=args.seed,
+        scale=args.scale,
+        config_overrides=overrides,
+    )
+    return spec, run_kwargs
+
+
+def _run_sweep(args) -> None:
+    from repro.api import run_sweep
+    from repro.experiments.sweep_backends import parse_endpoint
+
     if args.listen is not None and args.backend != "socket":
         # Silently running a local pool while remote workers try to
         # connect to a port nobody opened would be a cruel failure mode.
@@ -242,6 +441,15 @@ def _run_sweep(args) -> None:
     listen = (
         parse_endpoint(args.listen) if args.listen is not None else None
     )
+    spec, run_kwargs = _resolve_sweep_request(args)
+    if args.dump_spec is not None:
+        path = spec.save(args.dump_spec)
+        print(
+            f"(spec written to {path}; fingerprint "
+            f"{spec.fingerprint()} — run it with "
+            f"`repro sweep --spec {path}`)"
+        )
+        return
     done = {"count": 0}
 
     def narrate(key: str, seconds: float, cached: bool) -> None:
@@ -250,16 +458,6 @@ def _run_sweep(args) -> None:
         print(f"[{done['count']}] {key} ({tag})")
 
     result = run_sweep(
-        scenarios=args.scenarios,
-        protocols=args.protocols,
-        num_nodes=args.nodes,
-        fanouts=args.fanouts,
-        replicates=args.replicates,
-        num_messages=args.messages,
-        kill_fractions=args.kill_fractions,
-        churn_rates=args.churn_rates,
-        concurrent_messages=args.concurrent,
-        pulls_per_round=args.pulls,
         scale=args.scale,
         seed=args.seed,
         workers=args.workers,
@@ -267,7 +465,7 @@ def _run_sweep(args) -> None:
         progress=narrate if args.verbose else None,
         backend=args.backend,
         listen=listen,
-        **overrides,
+        **run_kwargs,
     )
     text = report.render_sweep(result)
     _emit(text, "sweep", args.out)
@@ -365,9 +563,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common(sub)
     sub.add_argument(
+        "--spec",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="run a declarative sweep-spec JSON file (see "
+        "docs/sweep_specs.md); the grid/parameter flags then stay home",
+    )
+    sub.add_argument(
+        "--dump-spec",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="write this invocation as a spec file and exit without "
+        "running (pairs with --spec for a lossless round-trip)",
+    )
+    sub.add_argument(
         "--scenarios",
         type=_csv,
-        default=("static",),
+        default=None,
         help="comma-separated scenario names, from: "
         + ",".join(scenario_names())
         + " (default: static)",
@@ -375,57 +589,88 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument(
         "--protocols",
         type=_csv,
-        default=("randcast", "ringcast"),
+        default=None,
         help="comma-separated overlay kinds (default: randcast,ringcast)",
     )
     sub.add_argument(
         "--nodes",
         type=_csv_ints,
-        default=(150,),
+        default=None,
         help="comma-separated population sizes (default: 150)",
     )
     sub.add_argument(
         "--fanouts",
         type=_csv_ints,
-        default=(1, 2, 3, 4),
+        default=None,
         help="comma-separated fanouts (default: 1,2,3,4)",
     )
     sub.add_argument(
         "--replicates",
         type=int,
-        default=2,
+        default=None,
         help="independent seed replicates per cell (default: 2)",
     )
     sub.add_argument(
         "--messages",
         type=int,
-        default=5,
+        default=None,
         help="messages posted per trial (default: 5)",
     )
-    sub.add_argument(
+    params_group = sub.add_argument_group(
+        "scenario parameters",
+        "auto-generated from the registered scenario schemas — a "
+        "plugin registered via register_scenario() appears here with "
+        "no CLI edits; each parameter attaches to the selected "
+        "scenarios that declare it",
+    )
+    for param_name, param in sorted(registered_params().items()):
+        consumers = ",".join(scenarios_consuming(param_name))
+        if param.sweepable:
+            value_type = (
+                _csv_ints if param.kind == "int" else _csv_floats
+            )
+            values_doc = "comma-separated values sweep an axis; "
+        else:
+            value_type = int if param.kind == "int" else float
+            values_doc = ""
+        params_group.add_argument(
+            _param_flag(param_name),
+            dest=f"param_{param_name}",
+            type=value_type,
+            default=None,
+            metavar="V" + (",V,..." if param.sweepable else ""),
+            help=f"{param.help} ({values_doc}scenarios: {consumers}; "
+            f"default: {param.default})",
+        )
+    legacy_group = sub.add_argument_group(
+        "deprecated flat parameters",
+        "the historical whole-grid knobs; superseded by the "
+        "per-scenario parameter flags above and by spec files "
+        "(byte-identical output either way)",
+    )
+    legacy_group.add_argument(
         "--kill-fractions",
         type=_csv_floats,
-        default=(0.05,),
-        help="kill fractions for catastrophic trials (default: 0.05)",
+        default=None,
+        help="deprecated: use --kill-fraction (default: 0.05)",
     )
-    sub.add_argument(
+    legacy_group.add_argument(
         "--churn-rates",
         type=_csv_floats,
-        default=(0.01,),
-        help="per-cycle churn rates for churn trials (default: 0.01)",
+        default=None,
+        help="deprecated: use --churn-rate (default: 0.01)",
     )
-    sub.add_argument(
+    legacy_group.add_argument(
         "--concurrent",
         type=int,
-        default=4,
-        help="batch size for multi_message trials (default: 4)",
+        default=None,
+        help="deprecated: use --concurrent-messages (default: 4)",
     )
-    sub.add_argument(
+    legacy_group.add_argument(
         "--pulls",
         type=int,
-        default=1,
-        help="polls per recovery round for pull_churn trials "
-        "(default: 1)",
+        default=None,
+        help="deprecated: use --pulls-per-round (default: 1)",
     )
     sub.add_argument(
         "--warmup",

@@ -48,6 +48,16 @@ from repro.experiments.scenarios import (
     run_static_scenario,
 )
 from repro.experiments.sweep import SweepGrid, execute_jobs, run_sweep
+from repro.experiments.sweep_spec import (
+    ScenarioSelection,
+    SweepSpec,
+    flat_spec,
+    scenario,
+)
+
+# Built-in plugin scenarios: registered purely through the public
+# register_scenario + schema API (the import is the registration).
+import repro.experiments.scheduling_optimal  # noqa: F401  isort: skip
 from repro.experiments.sweep_backends import (
     InlineBackend,
     ProcessPoolBackend,
@@ -72,14 +82,17 @@ __all__ = [
     "OverlaySpec",
     "ProcessPoolBackend",
     "RingConvergenceProbe",
+    "ScenarioSelection",
     "SocketWorkerBackend",
     "SweepBackend",
     "SweepGrid",
     "SweepResult",
+    "SweepSpec",
     "TrialResult",
     "TrialSpec",
     "build_population",
     "execute_jobs",
+    "flat_spec",
     "freeze_overlay",
     "make_node_factory",
     "measure_ring_convergence",
@@ -90,5 +103,6 @@ __all__ = [
     "run_static_scenario",
     "run_sweep",
     "scale_config",
+    "scenario",
     "warm_up",
 ]

@@ -207,11 +207,19 @@ def render_sweep(result) -> str:
         # set — a multi-fraction sweep must label which row is which.
         show_kill = any(c.kill_fraction != 0.0 for c in cells)
         show_churn = any(c.churn_rate != 0.0 for c in cells)
+        # Scenario-declared parameters (cell.params) get one column
+        # each, so e.g. a num_parts axis labels its rows. Classic
+        # scenarios carry no declared params: their tables are
+        # unchanged.
+        param_names = sorted(
+            {name for c in cells for name, _value in c.params}
+        )
         headers = ["protocol", "N", "fanout"]
         if show_kill:
             headers.append("kill%")
         if show_churn:
             headers.append("churn%")
+        headers += param_names
         headers += [
             "reps",
             "miss%",
@@ -232,6 +240,8 @@ def render_sweep(result) -> str:
                 row.append(100.0 * cell.kill_fraction)
             if show_churn:
                 row.append(100.0 * cell.churn_rate)
+            cell_params = dict(cell.params)
+            row += [cell_params.get(name, "") for name in param_names]
             row += [
                 cell.replicates,
                 cell.miss_percent,

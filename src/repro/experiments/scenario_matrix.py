@@ -25,13 +25,31 @@ Registered scenarios:
   §8 pull-recovery anti-entropy post-pass (push reliability vs pull
   latency under membership damage).
 
-New scenarios plug in with :func:`register_scenario`; the CLI and grid
-validation read :func:`scenario_names`.
+New scenarios plug in with :func:`register_scenario`, declaring a
+*typed parameter schema* (:class:`ParamSpec` entries: name, kind,
+default, bounds, sweepable-axis flag) alongside the executor. The
+schema makes a scenario self-describing: grid/spec validation
+(:mod:`repro.experiments.sweep_spec`), the auto-generated ``repro
+sweep`` CLI flags, and :func:`repro.api.run_experiment`'s
+unknown-parameter rejection all read it — a new scenario needs zero
+edits to those layers. The CLI and grid validation read
+:func:`scenario_names`; :func:`scenario_schema` returns one scenario's
+schema and :func:`registered_params` the union across scenarios.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Tuple
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.common.errors import ConfigurationError
 from repro.common.rng import RngRegistry
@@ -45,30 +63,239 @@ from repro.experiments.builder import (
 )
 from repro.experiments.config import ExperimentConfig, OverlaySpec
 from repro.experiments.scenarios import sweep_snapshot
-from repro.experiments.sweep_results import TrialResult, TrialSpec
+from repro.experiments.sweep_results import (
+    UNIVERSAL_PARAM_DEFAULTS,
+    TrialResult,
+    TrialSpec,
+)
 from repro.extensions.pull_recovery import pull_recovery
 from repro.failures.churn import ArtificialChurn
 from repro.metrics.dissemination import summarize_runs
 
 __all__ = [
+    "ParamSpec",
+    "ScenarioSchema",
     "execute_trial",
     "register_scenario",
+    "registered_params",
     "resolve_scenario",
     "run_trial",
     "scenario_names",
+    "scenario_schema",
+    "scenarios_consuming",
     "trial_config",
+    "validate_scenario_params",
 ]
 
 TrialExecutor = Callable[
     [TrialSpec, ExperimentConfig, RngRegistry], TrialResult
 ]
 
-_SCENARIOS: Dict[str, TrialExecutor] = {}
+ParamValue = Union[int, float]
+
+_RESERVED_PARAM_NAMES = frozenset(
+    (
+        "scenario",
+        "protocol",
+        "num_nodes",
+        "fanout",
+        "replicate",
+        "num_messages",
+        "params",
+    )
+)
 
 
-def register_scenario(name: str, executor: TrialExecutor) -> None:
-    """Register (or replace) a scenario executor under ``name``."""
-    _SCENARIOS[name] = executor
+@dataclass(frozen=True)
+class ParamSpec:
+    """One typed scenario parameter.
+
+    Attributes:
+        name: Python-identifier parameter name; becomes a ``TrialSpec``
+            param, a spec-file key, and an auto-generated CLI flag
+            (``--kill-fraction`` for ``kill_fraction``).
+        kind: ``"int"`` or ``"float"``.
+        default: Value used when a sweep does not set the parameter.
+        sweepable: Whether the parameter may carry several values and
+            multiply into the grid as an axis.
+        minimum / maximum: Optional inclusive bounds
+            (``exclusive_minimum``/``exclusive_maximum`` tighten them
+            to strict inequalities).
+        help: One-line description, surfaced in CLI ``--help``.
+    """
+
+    name: str
+    kind: str = "float"
+    default: ParamValue = 0.0
+    sweepable: bool = True
+    minimum: Optional[float] = None
+    maximum: Optional[float] = None
+    exclusive_minimum: bool = False
+    exclusive_maximum: bool = False
+    help: str = ""
+
+    def __post_init__(self) -> None:
+        if (
+            not self.name.isidentifier()
+            or self.name in _RESERVED_PARAM_NAMES
+        ):
+            raise ConfigurationError(
+                f"invalid parameter name {self.name!r}"
+            )
+        if self.kind not in ("int", "float"):
+            raise ConfigurationError(
+                f"parameter {self.name!r}: kind must be 'int' or "
+                f"'float', got {self.kind!r}"
+            )
+        object.__setattr__(self, "default", self.coerce(self.default))
+
+    def coerce(self, value: object) -> ParamValue:
+        """Type-check + bound-check ``value``; return it normalised."""
+        if isinstance(value, bool) or not isinstance(
+            value, (int, float)
+        ):
+            raise ConfigurationError(
+                f"parameter {self.name!r} expects a number, got "
+                f"{value!r}"
+            )
+        if self.kind == "int":
+            if float(value) != int(value):
+                raise ConfigurationError(
+                    f"parameter {self.name!r} expects an integer, got "
+                    f"{value!r}"
+                )
+            result: ParamValue = int(value)
+        else:
+            result = float(value)
+        if self.minimum is not None:
+            if result < self.minimum or (
+                self.exclusive_minimum and result == self.minimum
+            ):
+                raise ConfigurationError(
+                    f"parameter {self.name!r} must be "
+                    f"{'>' if self.exclusive_minimum else '>='} "
+                    f"{self.minimum}, got {value!r}"
+                )
+        if self.maximum is not None:
+            if result > self.maximum or (
+                self.exclusive_maximum and result == self.maximum
+            ):
+                raise ConfigurationError(
+                    f"parameter {self.name!r} must be "
+                    f"{'<' if self.exclusive_maximum else '<='} "
+                    f"{self.maximum}, got {value!r}"
+                )
+        return result
+
+
+@dataclass(frozen=True)
+class ScenarioSchema:
+    """The declared parameters (and doc line) of one scenario."""
+
+    params: Tuple[ParamSpec, ...] = ()
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "params", tuple(self.params))
+        names = [p.name for p in self.params]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(
+                f"duplicate parameter name in schema: {names}"
+            )
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(p.name for p in self.params)
+
+    def param(self, name: str) -> Optional[ParamSpec]:
+        for spec in self.params:
+            if spec.name == name:
+                return spec
+        return None
+
+
+@dataclass(frozen=True)
+class _Registration:
+    executor: TrialExecutor
+    schema: ScenarioSchema = field(default_factory=ScenarioSchema)
+
+
+_SCENARIOS: Dict[str, _Registration] = {}
+
+# Universal legacy parameters accepted (as scalars) by every scenario
+# for wire/cache compatibility, typed here so generic validation can
+# coerce them even for scenarios that don't consume them.
+_UNIVERSAL_PARAM_SPECS: Dict[str, ParamSpec] = {
+    "kill_fraction": ParamSpec(
+        "kill_fraction",
+        kind="float",
+        default=UNIVERSAL_PARAM_DEFAULTS["kill_fraction"],
+        minimum=0.0,
+        maximum=1.0,
+        exclusive_maximum=True,
+        help="fraction of nodes killed after freeze",
+    ),
+    "churn_rate": ParamSpec(
+        "churn_rate",
+        kind="float",
+        default=UNIVERSAL_PARAM_DEFAULTS["churn_rate"],
+        minimum=0.0,
+        maximum=1.0,
+        exclusive_maximum=True,
+        help="per-cycle node replacement rate",
+    ),
+    "concurrent_messages": ParamSpec(
+        "concurrent_messages",
+        kind="int",
+        default=UNIVERSAL_PARAM_DEFAULTS["concurrent_messages"],
+        minimum=1,
+        help="batch size for concurrent dissemination",
+    ),
+    "pulls_per_round": ParamSpec(
+        "pulls_per_round",
+        kind="int",
+        default=UNIVERSAL_PARAM_DEFAULTS["pulls_per_round"],
+        minimum=1,
+        help="polls per pull-recovery round",
+    ),
+}
+
+
+def register_scenario(
+    name: str,
+    executor: TrialExecutor,
+    schema: Union[ScenarioSchema, Sequence[ParamSpec], None] = None,
+) -> None:
+    """Register (or replace) a scenario under ``name``.
+
+    ``schema`` declares the scenario's parameters (a
+    :class:`ScenarioSchema` or a plain sequence of :class:`ParamSpec`);
+    omitting it registers a parameter-less scenario. Parameter names
+    must agree across scenarios: two scenarios declaring the same name
+    must declare the same :class:`ParamSpec` (the auto-generated CLI
+    exposes one flag per name).
+    """
+    if schema is None:
+        schema = ScenarioSchema()
+    elif not isinstance(schema, ScenarioSchema):
+        schema = ScenarioSchema(params=tuple(schema))
+    for param in schema.params:
+        for other_name, other in _SCENARIOS.items():
+            if other_name == name:
+                continue
+            conflict = other.schema.param(param.name)
+            if conflict is not None and conflict != param:
+                raise ConfigurationError(
+                    f"scenario {name!r} declares parameter "
+                    f"{param.name!r} differently from scenario "
+                    f"{other_name!r}"
+                )
+        universal = _UNIVERSAL_PARAM_SPECS.get(param.name)
+        if universal is not None and param.kind != universal.kind:
+            raise ConfigurationError(
+                f"parameter {param.name!r} is universal with kind "
+                f"{universal.kind!r}; cannot redeclare as {param.kind!r}"
+            )
+    _SCENARIOS[name] = _Registration(executor=executor, schema=schema)
 
 
 def scenario_names() -> Tuple[str, ...]:
@@ -78,6 +305,15 @@ def scenario_names() -> Tuple[str, ...]:
 
 def resolve_scenario(name: str) -> TrialExecutor:
     """The executor registered for ``name`` (raises if unknown)."""
+    return _registration(name).executor
+
+
+def scenario_schema(name: str) -> ScenarioSchema:
+    """The parameter schema registered for ``name`` (raises if unknown)."""
+    return _registration(name).schema
+
+
+def _registration(name: str) -> _Registration:
     try:
         return _SCENARIOS[name]
     except KeyError:
@@ -85,6 +321,52 @@ def resolve_scenario(name: str) -> TrialExecutor:
             f"unknown scenario {name!r}; expected one of "
             f"{scenario_names()}"
         ) from None
+
+
+def registered_params() -> Dict[str, ParamSpec]:
+    """The union of declared parameters across scenarios, by name."""
+    union: Dict[str, ParamSpec] = {}
+    for name in scenario_names():
+        for param in _SCENARIOS[name].schema.params:
+            union.setdefault(param.name, param)
+    return union
+
+
+def scenarios_consuming(param_name: str) -> Tuple[str, ...]:
+    """Which registered scenarios declare (consume) ``param_name``."""
+    return tuple(
+        name
+        for name in scenario_names()
+        if _SCENARIOS[name].schema.param(param_name) is not None
+    )
+
+
+def validate_scenario_params(
+    name: str, params: Mapping[str, object]
+) -> Dict[str, ParamValue]:
+    """Validate/coerce ``params`` for scenario ``name``.
+
+    Parameters the scenario declares are coerced against their
+    :class:`ParamSpec`; the universal legacy parameters are accepted
+    (and coerced) for every scenario; anything else is rejected with
+    the list of what the scenario does accept.
+    """
+    schema = scenario_schema(name)
+    coerced: Dict[str, ParamValue] = {}
+    for param_name, value in params.items():
+        spec = schema.param(param_name)
+        if spec is None:
+            spec = _UNIVERSAL_PARAM_SPECS.get(param_name)
+        if spec is None:
+            accepted = sorted(
+                set(schema.names()) | set(_UNIVERSAL_PARAM_SPECS)
+            )
+            raise ConfigurationError(
+                f"scenario {name!r} does not accept parameter "
+                f"{param_name!r}; accepted parameters: {accepted}"
+            )
+        coerced[param_name] = spec.coerce(value)
+    return coerced
 
 
 def trial_config(
@@ -332,8 +614,80 @@ def _run_pull_churn(
     return _result_from_runs(spec, runs, extras)
 
 
-register_scenario("static", _run_static)
-register_scenario("catastrophic", _run_catastrophic)
-register_scenario("churn", _run_churn)
-register_scenario("multi_message", _run_multi_message)
-register_scenario("pull_churn", _run_pull_churn)
+# Shared ParamSpecs: scenarios declaring the same parameter must agree
+# on its type/bounds, so the CLI can expose exactly one flag per name.
+_KILL_FRACTION = ParamSpec(
+    "kill_fraction",
+    kind="float",
+    default=0.05,
+    sweepable=True,
+    minimum=0.0,
+    maximum=1.0,
+    exclusive_maximum=True,
+    help="fraction of nodes killed after freeze, before dissemination",
+)
+_CHURN_RATE = ParamSpec(
+    "churn_rate",
+    kind="float",
+    default=0.01,
+    sweepable=True,
+    minimum=0.0,
+    exclusive_minimum=True,
+    maximum=1.0,
+    exclusive_maximum=True,
+    help="per-cycle node replacement rate during warm-up churn",
+)
+_CONCURRENT_MESSAGES = ParamSpec(
+    "concurrent_messages",
+    kind="int",
+    default=4,
+    sweepable=True,
+    minimum=1,
+    help="messages disseminated concurrently per batch",
+)
+_PULLS_PER_ROUND = ParamSpec(
+    "pulls_per_round",
+    kind="int",
+    default=1,
+    sweepable=True,
+    minimum=1,
+    help="polls per round of the §8 pull-recovery post-pass",
+)
+
+register_scenario(
+    "static",
+    _run_static,
+    ScenarioSchema(description="failure-free network (§7.1)"),
+)
+register_scenario(
+    "catastrophic",
+    _run_catastrophic,
+    ScenarioSchema(
+        params=(_KILL_FRACTION,),
+        description="mass node failure after freeze (§7.2)",
+    ),
+)
+register_scenario(
+    "churn",
+    _run_churn,
+    ScenarioSchema(
+        params=(_CHURN_RATE,),
+        description="continuous churn until full turnover (§7.3)",
+    ),
+)
+register_scenario(
+    "multi_message",
+    _run_multi_message,
+    ScenarioSchema(
+        params=(_CONCURRENT_MESSAGES,),
+        description="concurrent multi-message load (Sanghavi et al.)",
+    ),
+)
+register_scenario(
+    "pull_churn",
+    _run_pull_churn,
+    ScenarioSchema(
+        params=(_CHURN_RATE, _PULLS_PER_ROUND),
+        description="push under churn + §8 pull recovery",
+    ),
+)

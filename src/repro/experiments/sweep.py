@@ -66,6 +66,11 @@ from repro.experiments.sweep_results import (
     load_cached_trial,
     store_trial,
 )
+from repro.experiments.sweep_spec import (
+    LEGACY_FLAT_DEFAULTS,
+    SweepSpec,
+    flat_spec,
+)
 
 __all__ = ["SweepGrid", "execute_jobs", "run_sweep"]
 
@@ -96,10 +101,12 @@ class SweepGrid:
     fanouts: Tuple[int, ...] = (1, 2, 3, 4)
     replicates: int = 1
     num_messages: int = 5
-    kill_fractions: Tuple[float, ...] = (0.05,)
-    churn_rates: Tuple[float, ...] = (0.01,)
-    concurrent_messages: int = 4
-    pulls_per_round: int = 1
+    kill_fractions: Tuple[float, ...] = LEGACY_FLAT_DEFAULTS[
+        "kill_fractions"
+    ]
+    churn_rates: Tuple[float, ...] = LEGACY_FLAT_DEFAULTS["churn_rates"]
+    concurrent_messages: int = LEGACY_FLAT_DEFAULTS["concurrent_messages"]
+    pulls_per_round: int = LEGACY_FLAT_DEFAULTS["pulls_per_round"]
 
     def __post_init__(self) -> None:
         if self.replicates < 1:
@@ -162,6 +169,26 @@ class SweepGrid:
             return [{"churn_rate": r} for r in self.churn_rates]
         return [{}]
 
+    def to_spec(self) -> SweepSpec:
+        """The equivalent declarative :class:`SweepSpec`.
+
+        ``grid.to_spec().expand() == grid.expand()`` — same trials,
+        same keys, same bytes (pinned by golden tests) — so legacy
+        grids migrate to spec files losslessly.
+        """
+        return flat_spec(
+            scenarios=self.scenarios,
+            protocols=self.protocols,
+            num_nodes=self.num_nodes,
+            fanouts=self.fanouts,
+            replicates=self.replicates,
+            num_messages=self.num_messages,
+            kill_fractions=self.kill_fractions,
+            churn_rates=self.churn_rates,
+            concurrent_messages=self.concurrent_messages,
+            pulls_per_round=self.pulls_per_round,
+        )
+
     def expand(self) -> Tuple[TrialSpec, ...]:
         """Every trial of the grid, in canonical (deterministic) order."""
         specs: List[TrialSpec] = []
@@ -218,7 +245,7 @@ def execute_jobs(
 
 
 def run_sweep(
-    grid: SweepGrid,
+    grid: Union[SweepGrid, SweepSpec],
     base_config: Optional[ExperimentConfig] = None,
     root_seed: int = 42,
     workers: int = 1,
@@ -230,7 +257,10 @@ def run_sweep(
     """Expand ``grid``, execute every trial, aggregate into a result.
 
     Args:
-        grid: The declarative parameter grid.
+        grid: The declarative parameter grid — a legacy
+            :class:`SweepGrid` or a
+            :class:`~repro.experiments.sweep_spec.SweepSpec` (same
+            expansion contract; specs additionally serialise).
         base_config: Template for per-trial configs (warm-up cycles,
             view sizes, churn caps...); grid axes override its
             population/fanout/message fields. Defaults to
@@ -296,7 +326,7 @@ def run_sweep(
 
     executors = {
         scenario: resolve_scenario(scenario)
-        for scenario in grid.scenarios
+        for scenario in {spec.scenario for spec in specs}
     }
     if pending:
         backend_obj.run_trials(

@@ -26,7 +26,12 @@ three backends, including under an injected worker crash).
 The socket wire format is deliberately JSON, not pickle: frames are
 ``4-byte big-endian length + canonical JSON``, so workers of any build
 can validate what they run, and a hypothesis property test can pin the
-encode → frame → decode round-trip as lossless and key-stable.
+encode → frame → decode round-trip as lossless and key-stable. Trial
+frames serialise specs via ``TrialSpec.to_dict()``, which flattens the
+generic ``params`` mapping into the payload — a scenario plugin's
+declared parameters (``num_parts``, ...) cross the wire with no
+backend changes, and frames for the five seed scenarios are
+byte-identical to the pre-``params`` format.
 
 One caveat for the socket backend: workers resolve scenarios by name
 in their own process, so scenarios registered at runtime in the parent

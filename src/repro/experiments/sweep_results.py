@@ -8,7 +8,16 @@ across process boundaries and persists to disk:
   (protocol × N × fanout × scenario × replicate). Its :attr:`~TrialSpec.key`
   is the canonical derivation string for the trial's RNG universe and
   its cache identity, so results depend only on ``(root_seed, spec)``
-  and never on worker count or execution order.
+  and never on worker count or execution order. Scenario-specific
+  knobs live in a generic canonical ``params`` mapping: scenarios
+  declare their parameters (a typed schema) when they register in
+  :mod:`repro.experiments.scenario_matrix`, and a spec carries whatever
+  its scenario consumes — no fixed per-scenario fields. Four
+  *universal* legacy parameters (``kill_fraction``, ``churn_rate``,
+  ``concurrent_messages``, ``pulls_per_round``) are always present
+  with their historical defaults so keys, wire frames and cache
+  entries for the original five scenarios stay byte-identical to the
+  pre-``params`` format.
 * :class:`TrialResult` — the measured outcome of one trial, mirroring
   :class:`~repro.metrics.dissemination.EffectivenessStats` plus
   scenario-specific extras (churn cycles, pull rounds, load hotspots).
@@ -40,6 +49,7 @@ __all__ = [
     "SweepResult",
     "TrialResult",
     "TrialSpec",
+    "UNIVERSAL_PARAM_DEFAULTS",
     "canonical_json",
     "config_fingerprint",
     "load_cached_trial",
@@ -72,7 +82,37 @@ def canonical_json(payload: object) -> str:
     )
 
 
-@dataclass(frozen=True)
+# The four historical scenario knobs, always present on every spec
+# with these defaults. They predate the generic ``params`` mapping;
+# keeping them universal (rather than per-scenario) is what keeps
+# keys, wire frames and cache files byte-identical across the API
+# redesign. New scenario parameters never join this table — they ride
+# in ``params`` and appear in keys/JSON only when declared.
+UNIVERSAL_PARAM_DEFAULTS: Dict[str, Union[int, float]] = {
+    "kill_fraction": 0.0,
+    "churn_rate": 0.0,
+    "concurrent_messages": 1,
+    "pulls_per_round": 1,
+}
+
+_CORE_SPEC_FIELDS = (
+    "scenario",
+    "protocol",
+    "num_nodes",
+    "fanout",
+    "replicate",
+    "num_messages",
+)
+
+ParamValue = Union[int, float]
+ParamItems = Tuple[Tuple[str, ParamValue], ...]
+
+
+def _spec_from_dict(payload: Mapping[str, object]) -> "TrialSpec":
+    """Module-level ``from_dict`` so pickled specs rebuild cleanly."""
+    return TrialSpec.from_dict(payload)
+
+
 class TrialSpec:
     """One point of the sweep grid, fully determined and hashable.
 
@@ -85,32 +125,78 @@ class TrialSpec:
         replicate: Seed-replicate index; replicates of a cell differ
             only in this field and are averaged by the aggregation.
         num_messages: Messages posted (and measured) per trial.
-        kill_fraction: Fraction killed before dissemination
-            (catastrophic scenarios; 0.0 elsewhere).
-        churn_rate: Per-cycle replacement rate (churn scenarios; 0.0
-            elsewhere).
-        concurrent_messages: Batch size for the multi-message workload.
-        pulls_per_round: Polls per round for pull-recovery workloads.
+        params: Canonical (sorted) tuple of ``(name, value)`` scenario
+            parameters. Always includes the four universal legacy
+            parameters (with their defaults when unset); scenario
+            parameters may be passed either via ``params`` or as extra
+            keyword arguments (``TrialSpec(..., kill_fraction=0.05)``).
     """
 
-    scenario: str
-    protocol: str
-    num_nodes: int
-    fanout: int
-    replicate: int = 0
-    num_messages: int = 5
-    kill_fraction: float = 0.0
-    churn_rate: float = 0.0
-    concurrent_messages: int = 1
-    pulls_per_round: int = 1
+    __slots__ = (
+        "scenario",
+        "protocol",
+        "num_nodes",
+        "fanout",
+        "replicate",
+        "num_messages",
+        "params",
+        "_param_map",
+    )
 
-    def __post_init__(self) -> None:
-        # Coerce so an int-valued 0 and a float 0.0 — equal as specs —
-        # also share their key (RNG universe + cache identity).
-        object.__setattr__(
-            self, "kill_fraction", float(self.kill_fraction)
+    def __init__(
+        self,
+        scenario: str,
+        protocol: str,
+        num_nodes: int,
+        fanout: int,
+        replicate: int = 0,
+        num_messages: int = 5,
+        params: Union[Mapping[str, ParamValue], ParamItems] = (),
+        **extra_params: ParamValue,
+    ) -> None:
+        merged: Dict[str, ParamValue] = dict(UNIVERSAL_PARAM_DEFAULTS)
+        items = (
+            params.items() if isinstance(params, Mapping) else params
         )
-        object.__setattr__(self, "churn_rate", float(self.churn_rate))
+        for name, value in items:
+            merged[name] = value
+        merged.update(extra_params)
+        for name, value in merged.items():
+            if name in _CORE_SPEC_FIELDS or not str(name).isidentifier():
+                raise ConfigurationError(
+                    f"invalid scenario parameter name {name!r}"
+                )
+            if isinstance(value, bool) or not isinstance(
+                value, (int, float)
+            ):
+                raise ConfigurationError(
+                    f"scenario parameter {name!r} must be a number, got "
+                    f"{value!r}"
+                )
+        # Coerce so an int-valued 0 and a float 0.0 — equal as specs —
+        # also share their key (RNG universe + cache identity):
+        # kill/churn keep their historical float form; every other
+        # parameter canonicalises integral floats to int (4.0 and 4
+        # repr differently but compare equal, and the key embeds the
+        # repr).
+        merged["kill_fraction"] = float(merged["kill_fraction"])
+        merged["churn_rate"] = float(merged["churn_rate"])
+        for name, value in merged.items():
+            if (
+                name not in ("kill_fraction", "churn_rate")
+                and isinstance(value, float)
+                and value.is_integer()
+            ):
+                merged[name] = int(value)
+        set_ = object.__setattr__
+        set_(self, "scenario", scenario)
+        set_(self, "protocol", protocol)
+        set_(self, "num_nodes", num_nodes)
+        set_(self, "fanout", fanout)
+        set_(self, "replicate", replicate)
+        set_(self, "num_messages", num_messages)
+        set_(self, "params", tuple(sorted(merged.items())))
+        set_(self, "_param_map", merged)
         if self.num_nodes < 3:
             raise ConfigurationError("num_nodes must be >= 3")
         if self.fanout < 1:
@@ -128,15 +214,100 @@ class TrialSpec:
         if self.pulls_per_round < 1:
             raise ConfigurationError("pulls_per_round must be >= 1")
 
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("TrialSpec is immutable")
+
+    def __delattr__(self, name: str) -> None:
+        raise AttributeError("TrialSpec is immutable")
+
+    def _identity(self) -> Tuple:
+        return (
+            self.scenario,
+            self.protocol,
+            self.num_nodes,
+            self.fanout,
+            self.replicate,
+            self.num_messages,
+            self.params,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TrialSpec):
+            return NotImplemented
+        return self._identity() == other._identity()
+
+    def __hash__(self) -> int:
+        return hash(self._identity())
+
+    def __repr__(self) -> str:
+        extra = ", ".join(
+            f"{name}={value!r}" for name, value in self.params
+        )
+        return (
+            f"TrialSpec(scenario={self.scenario!r}, "
+            f"protocol={self.protocol!r}, num_nodes={self.num_nodes}, "
+            f"fanout={self.fanout}, replicate={self.replicate}, "
+            f"num_messages={self.num_messages}, {extra})"
+        )
+
+    def __reduce__(self):
+        return (_spec_from_dict, (self.to_dict(),))
+
+    # -- parameter access ----------------------------------------------
+
+    def param(
+        self, name: str, default: Optional[ParamValue] = None
+    ) -> Optional[ParamValue]:
+        """The value of one scenario parameter (or ``default``)."""
+        return self._param_map.get(name, default)
+
+    @property
+    def params_dict(self) -> Dict[str, ParamValue]:
+        return dict(self.params)
+
+    @property
+    def extra_params(self) -> ParamItems:
+        """The non-universal (scenario-declared) parameters, sorted."""
+        return tuple(
+            (name, value)
+            for name, value in self.params
+            if name not in UNIVERSAL_PARAM_DEFAULTS
+        )
+
+    @property
+    def kill_fraction(self) -> float:
+        return self._param_map["kill_fraction"]
+
+    @property
+    def churn_rate(self) -> float:
+        return self._param_map["churn_rate"]
+
+    @property
+    def concurrent_messages(self) -> int:
+        return self._param_map["concurrent_messages"]
+
+    @property
+    def pulls_per_round(self) -> int:
+        return self._param_map["pulls_per_round"]
+
     @property
     def key(self) -> str:
-        """Canonical derivation string: RNG universe + cache identity."""
+        """Canonical derivation string: RNG universe + cache identity.
+
+        The four universal parameters keep their historical slots so
+        pre-redesign keys (and therefore RNG universes and cache
+        entries) survive unchanged; scenario-declared parameters are
+        appended as sorted ``/name=value`` segments.
+        """
+        extra = "".join(
+            f"/{name}={value!r}" for name, value in self.extra_params
+        )
         return (
             f"sweep/{self.scenario}/{self.protocol}"
             f"/n{self.num_nodes}/f{self.fanout}/m{self.num_messages}"
             f"/kill{self.kill_fraction!r}/churn{self.churn_rate!r}"
             f"/cm{self.concurrent_messages}/p{self.pulls_per_round}"
-            f"/rep{self.replicate}"
+            f"{extra}/rep{self.replicate}"
         )
 
     @property
@@ -152,25 +323,34 @@ class TrialSpec:
             self.churn_rate,
             self.concurrent_messages,
             self.pulls_per_round,
+            self.extra_params,
         )
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        payload: Dict[str, object] = {
             "scenario": self.scenario,
             "protocol": self.protocol,
             "num_nodes": self.num_nodes,
             "fanout": self.fanout,
             "replicate": self.replicate,
             "num_messages": self.num_messages,
-            "kill_fraction": self.kill_fraction,
-            "churn_rate": self.churn_rate,
-            "concurrent_messages": self.concurrent_messages,
-            "pulls_per_round": self.pulls_per_round,
         }
+        payload.update(self._param_map)
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, object]) -> "TrialSpec":
-        return cls(**payload)  # type: ignore[arg-type]
+        core = {
+            name: payload[name]
+            for name in _CORE_SPEC_FIELDS
+            if name in payload
+        }
+        params = {
+            name: value
+            for name, value in payload.items()
+            if name not in _CORE_SPEC_FIELDS
+        }
+        return cls(params=params, **core)  # type: ignore[arg-type]
 
 
 @dataclass(frozen=True)
@@ -272,6 +452,10 @@ class CellSummary:
     mean_total_messages: float
     ci95_total_messages: float
     extras: Tuple[Tuple[str, float], ...] = ()
+    # Scenario-declared (non-universal) parameters of this cell,
+    # e.g. (("num_parts", 4),). Empty for the classic scenarios, and
+    # omitted from the JSON then — pre-redesign output is unchanged.
+    params: Tuple[Tuple[str, Union[int, float]], ...] = ()
 
     @property
     def miss_percent(self) -> float:
@@ -286,7 +470,7 @@ class CellSummary:
         return dict(self.extras)
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        payload: Dict[str, object] = {
             "scenario": self.scenario,
             "protocol": self.protocol,
             "num_nodes": self.num_nodes,
@@ -307,6 +491,11 @@ class CellSummary:
             "ci95_total_messages": self.ci95_total_messages,
             "extras": {name: value for name, value in self.extras},
         }
+        if self.params:
+            payload["params"] = {
+                name: value for name, value in self.params
+            }
+        return payload
 
 
 def summarize_cells(
@@ -362,6 +551,7 @@ def summarize_cells(
                 mean_total_messages=mean(totals),
                 ci95_total_messages=_ci95(totals),
                 extras=extras,
+                params=spec.extra_params,
             )
         )
     return tuple(cells)
