@@ -1,4 +1,5 @@
-"""Sweep-engine scaling: workers=1 vs workers=N, across backends.
+"""Sweep-engine scaling: workers=1 vs workers=N, across backends —
+plus the overlay snapshot store's cold-vs-warm warm-up savings.
 
 PR 2's open question — does the process pool actually buy wall clock
 on multi-core hardware? — gets measured here: the same grid runs
@@ -9,14 +10,27 @@ speedup is recorded data, not an anecdote; byte-identity across the
 three runs is asserted while we're at it (timing a sweep that silently
 diverged would measure nothing).
 
+The snapshot-store section measures the same grid cold (empty store,
+every overlay built and persisted) and warm (second run, every warm-up
+skipped), asserting byte-identity against the store-less reference in
+both directions, plus the opt-in ``overlay_reuse="grid"`` mode where
+fanout siblings share one overlay per (protocol, replicate). CI fails
+if the warm run is not faster than the cold one — the store's whole
+reason to exist.
+
 Grid size is deliberately modest (16 trials at N=60) so the bench runs
 in tens of seconds; the *ratio* between serial and parallel time is
-the signal, and on a single-core container it honestly reports ~1x.
+the signal, and on a single-core container it honestly reports ~1x for
+the pool (the snapshot-store ratio is CPU-count-independent: it trades
+gossip cycles for a disk read).
 """
 
 import os
 import platform
+import shutil
+import tempfile
 import time
+from pathlib import Path
 
 from benchmarks.conftest import BENCH_SEED, once, record_json, sweep_workers
 from repro.experiments.config import ExperimentConfig
@@ -58,6 +72,44 @@ def test_sweep_backend_scaling(benchmark):
     assert parallel.to_json() == serial.to_json()
     assert socket_result.to_json() == serial.to_json()
 
+    # -- overlay snapshot store: cold build vs warm reuse --------------
+    store = Path(tempfile.mkdtemp(prefix="bench_snapshots_"))
+    try:
+        cold, cold_seconds = _timed(snapshot_cache=store)
+        warm, warm_seconds = _timed(snapshot_cache=store)
+        assert cold.to_json() == serial.to_json()
+        assert warm.to_json() == serial.to_json()
+        overlays_stored = len(list(store.glob("overlay_*.json")))
+
+        grid_store = Path(tempfile.mkdtemp(prefix="bench_grid_snaps_"))
+        try:
+            grid_mode, grid_seconds = _timed(
+                overlay_reuse="grid", snapshot_cache=grid_store
+            )
+            grid_again, _ = _timed(overlay_reuse="grid")
+            # Different (documented) experiment design, but
+            # deterministic — with or without the store.
+            assert grid_again.to_json() == grid_mode.to_json()
+            # Measured, not assumed: one overlay per (protocol,
+            # replicate) for the single-family grid.
+            grid_overlays_built = len(
+                list(grid_store.glob("overlay_*.json"))
+            )
+            assert grid_overlays_built == len(GRID.protocols) * (
+                GRID.replicates
+            ), grid_overlays_built
+        finally:
+            shutil.rmtree(grid_store, ignore_errors=True)
+    finally:
+        shutil.rmtree(store, ignore_errors=True)
+
+    # The store's raison d'etre: a warm multi-fanout grid must beat a
+    # cold one. CI turns this ratio into a hard gate.
+    assert warm_seconds < cold_seconds, (
+        f"warm snapshot-store run ({warm_seconds:.2f}s) is not faster "
+        f"than cold ({cold_seconds:.2f}s)"
+    )
+
     record_json(
         "BENCH_sweep",
         {
@@ -92,5 +144,17 @@ def test_sweep_backend_scaling(benchmark):
                 serial_seconds / socket_seconds, 3
             ),
             "byte_identical_across_backends": True,
+            "snapshot_store": {
+                "overlays_stored": overlays_stored,
+                "cold_seconds": round(cold_seconds, 3),
+                "warm_seconds": round(warm_seconds, 3),
+                "warm_speedup": round(cold_seconds / warm_seconds, 3),
+                "byte_identical_to_no_store": True,
+                "grid_mode_seconds": round(grid_seconds, 3),
+                "grid_mode_speedup_vs_inline": round(
+                    serial_seconds / grid_seconds, 3
+                ),
+                "grid_mode_overlays_built": grid_overlays_built,
+            },
         },
     )

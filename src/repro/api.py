@@ -212,6 +212,8 @@ def run_sweep(
     backend: Optional[str] = None,
     listen: Optional[Tuple[str, int]] = None,
     spec: Union[SweepSpec, str, Path, None] = None,
+    snapshot_cache: Optional[Union[str, Path]] = None,
+    overlay_reuse: str = "trial",
     **config_overrides,
 ) -> SweepResult:
     """Run a declarative (protocol × N × fanout × scenario × seed) grid.
@@ -262,6 +264,20 @@ def run_sweep(
     ``listen`` is its bind address). The default keeps the historical
     behaviour: inline at ``workers=1``, a local process pool otherwise.
     Results are byte-identical whichever backend runs them.
+
+    ``snapshot_cache`` names a directory for the content-addressed
+    overlay snapshot store (see
+    :mod:`repro.experiments.snapshot_store` and
+    ``docs/performance.md``): built overlays are persisted there and
+    re-runs skip the warm-up gossip entirely, with every output byte
+    unchanged. ``overlay_reuse="grid"`` additionally derives overlay
+    construction from the fanout-independent overlay key, so
+    dissemination-only siblings (fanouts, kill fractions, message
+    counts) share one overlay per replicate — the paper's
+    freeze-once-sweep-fanouts methodology; deterministic and
+    backend-independent, but a different experiment design than the
+    default per-trial universes (its numbers differ from legacy runs,
+    so it is opt-in).
 
     Scenario names come from
     :mod:`repro.experiments.scenario_matrix` (``static``,
@@ -394,4 +410,6 @@ def run_sweep(
         progress=progress,
         backend=backend,
         listen=listen,
+        snapshot_cache=snapshot_cache,
+        overlay_reuse=overlay_reuse,
     )

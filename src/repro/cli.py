@@ -53,7 +53,13 @@ a TCP work-queue server; remote hosts join a socket sweep with::
 
 Results are byte-identical at any ``--workers`` value and under every
 backend; ``--cache DIR`` persists finished trials so an interrupted
-sweep resumes for free. See ``docs/distributed_sweeps.md``.
+sweep resumes for free, and also enables the content-addressed overlay
+snapshot store (``--snapshot-cache DIR`` / ``--no-snapshot-cache``)
+that lets re-runs skip warm-up gossip entirely — still byte-identical.
+``--overlay-reuse grid`` opts into sharing one overlay across fanout
+siblings (the paper's freeze-once methodology; deterministic, but a
+different experiment design). See ``docs/distributed_sweeps.md`` and
+``docs/performance.md``.
 
 Scales: tiny, small (default), medium, paper — see
 :mod:`repro.experiments.config`.
@@ -441,6 +447,20 @@ def _run_sweep(args) -> None:
     listen = (
         parse_endpoint(args.listen) if args.listen is not None else None
     )
+    if args.no_snapshot_cache and args.snapshot_cache is not None:
+        raise ConfigurationError(
+            "--snapshot-cache and --no-snapshot-cache contradict each "
+            "other; pick one"
+        )
+    snapshot_cache = args.snapshot_cache
+    if (
+        snapshot_cache is None
+        and not args.no_snapshot_cache
+        and args.cache is not None
+    ):
+        # Resumable sweeps get overlay reuse for free: the store rides
+        # inside the trial cache directory unless explicitly declined.
+        snapshot_cache = args.cache / "snapshots"
     spec, run_kwargs = _resolve_sweep_request(args)
     if args.dump_spec is not None:
         path = spec.save(args.dump_spec)
@@ -465,6 +485,8 @@ def _run_sweep(args) -> None:
         progress=narrate if args.verbose else None,
         backend=args.backend,
         listen=listen,
+        snapshot_cache=snapshot_cache,
+        overlay_reuse=args.overlay_reuse,
         **run_kwargs,
     )
     text = report.render_sweep(result)
@@ -708,7 +730,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache",
         type=Path,
         default=None,
-        help="per-trial cache directory (resume support)",
+        help="per-trial cache directory (resume support); also enables "
+        "the overlay snapshot store at CACHE/snapshots unless "
+        "--no-snapshot-cache",
+    )
+    sub.add_argument(
+        "--snapshot-cache",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="content-addressed overlay snapshot store: built overlays "
+        "are persisted here and re-runs skip warm-up entirely, with "
+        "byte-identical output (default: CACHE/snapshots when --cache "
+        "is given, otherwise off; see docs/performance.md)",
+    )
+    sub.add_argument(
+        "--no-snapshot-cache",
+        action="store_true",
+        help="disable the overlay snapshot store (including the "
+        "CACHE/snapshots default that --cache switches on)",
+    )
+    sub.add_argument(
+        "--overlay-reuse",
+        choices=("trial", "grid"),
+        default="trial",
+        help="'trial' (default): legacy per-trial overlay universes, "
+        "every byte identical to historical sweeps; 'grid': fanout/"
+        "kill-fraction/message-count siblings share one overlay per "
+        "replicate (the paper's freeze-once methodology, ~|fanouts|x "
+        "less warm-up) — deterministic but numerically a different "
+        "experiment design",
     )
     sub.add_argument(
         "--json",

@@ -54,7 +54,12 @@ class OverlaySnapshot:
     alive_set: FrozenSet[int] = field(default=frozenset())
 
     def __post_init__(self) -> None:
+        # Precomputed once: membership tests, uniform sampling and the
+        # per-node link unions are all hot-path reads during
+        # dissemination, so none of them may rebuild per call.
         object.__setattr__(self, "alive_set", frozenset(self.alive_ids))
+        object.__setattr__(self, "_out_links_cache", {})
+        object.__setattr__(self, "_d_graph_cache", None)
         if not self.alive_ids:
             raise ConfigurationError("snapshot has no alive nodes")
 
@@ -136,16 +141,31 @@ class OverlaySnapshot:
         return node_id in self.alive_set
 
     def random_alive(self, rng: random.Random) -> int:
-        """A uniformly random alive node."""
+        """A uniformly random alive node.
+
+        O(1): ``alive_ids`` is materialised once at construction (and
+        once per ``kill_*`` derivation), never per draw — and the draw
+        itself is a single ``rng.choice`` so the consumed randomness is
+        independent of the population's history.
+        """
         return rng.choice(self.alive_ids)
 
     def out_links(self, node_id: int) -> Tuple[int, ...]:
-        """All outgoing links of ``node_id`` (d-links first, deduplicated)."""
-        seen = []
+        """All outgoing links of ``node_id`` (d-links first, deduplicated).
+
+        Memoised per node: flooding asks for the same union on every
+        forwarding step, and link tables are immutable after freeze.
+        """
+        cached = self._out_links_cache.get(node_id)
+        if cached is not None:
+            return cached
+        seen: list = []
         for link in self.dlinks.get(node_id, ()) + self.rlinks.get(node_id, ()):
             if link not in seen:
                 seen.append(link)
-        return tuple(seen)
+        links = tuple(seen)
+        self._out_links_cache[node_id] = links
+        return links
 
     def lifetime_of(self, node_id: int) -> int:
         """Cycles between the node's join and the freeze."""
@@ -195,16 +215,25 @@ class OverlaySnapshot:
         """The d-link subgraph restricted to alive nodes.
 
         This is the graph whose strong connectivity the hybrid class
-        requires (§5); exposed for analysis and tests.
+        requires (§5); exposed for analysis and tests. Computed once —
+        the snapshot is immutable — and returned as a fresh shallow
+        copy so callers may annotate their dict without corrupting the
+        cache.
         """
-        return {
-            node_id: tuple(
-                link
-                for link in self.dlinks.get(node_id, ())
-                if link in self.alive_set
+        if self._d_graph_cache is None:
+            object.__setattr__(
+                self,
+                "_d_graph_cache",
+                {
+                    node_id: tuple(
+                        link
+                        for link in self.dlinks.get(node_id, ())
+                        if link in self.alive_set
+                    )
+                    for node_id in self.alive_ids
+                },
             )
-            for node_id in self.alive_ids
-        }
+        return dict(self._d_graph_cache)
 
     def __repr__(self) -> str:
         return (

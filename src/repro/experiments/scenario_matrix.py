@@ -121,6 +121,15 @@ class ParamSpec:
         minimum / maximum: Optional inclusive bounds
             (``exclusive_minimum``/``exclusive_maximum`` tighten them
             to strict inequalities).
+        affects_overlay: Whether the parameter shapes overlay
+            *construction* (warm-up), as opposed to dissemination over
+            the finished overlay. ``churn_rate`` does; ``kill_fraction``
+            (applied after freeze) and the pure dissemination knobs do
+            not. The snapshot store keys overlays on exactly the
+            affecting parameters, so declaring this correctly is what
+            lets fanout/kill-fraction siblings share a cached overlay.
+            Defaults to ``True`` — a needlessly split cache is harmless,
+            a wrongly shared overlay never is.
         help: One-line description, surfaced in CLI ``--help``.
     """
 
@@ -132,6 +141,7 @@ class ParamSpec:
     maximum: Optional[float] = None
     exclusive_minimum: bool = False
     exclusive_maximum: bool = False
+    affects_overlay: bool = True
     help: str = ""
 
     def __post_init__(self) -> None:
@@ -190,10 +200,21 @@ class ParamSpec:
 
 @dataclass(frozen=True)
 class ScenarioSchema:
-    """The declared parameters (and doc line) of one scenario."""
+    """The declared parameters (and doc line) of one scenario.
+
+    ``overlay_family`` names the overlay-construction procedure this
+    scenario uses; scenarios declaring the same family build
+    byte-identical overlays from the same inputs (``static``,
+    ``catastrophic`` and ``multi_message`` all freeze the same
+    failure-free warm-up, so they share the ``"static"`` family), which
+    lets the snapshot store share one cached overlay across them.
+    ``None`` means the scenario's overlays are its own (no
+    cross-scenario sharing).
+    """
 
     params: Tuple[ParamSpec, ...] = ()
     description: str = ""
+    overlay_family: Optional[str] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "params", tuple(self.params))
@@ -232,6 +253,7 @@ _UNIVERSAL_PARAM_SPECS: Dict[str, ParamSpec] = {
         minimum=0.0,
         maximum=1.0,
         exclusive_maximum=True,
+        affects_overlay=False,  # applied after freeze
         help="fraction of nodes killed after freeze",
     ),
     "churn_rate": ParamSpec(
@@ -248,6 +270,7 @@ _UNIVERSAL_PARAM_SPECS: Dict[str, ParamSpec] = {
         kind="int",
         default=UNIVERSAL_PARAM_DEFAULTS["concurrent_messages"],
         minimum=1,
+        affects_overlay=False,  # dissemination batching only
         help="batch size for concurrent dissemination",
     ),
     "pulls_per_round": ParamSpec(
@@ -255,6 +278,7 @@ _UNIVERSAL_PARAM_SPECS: Dict[str, ParamSpec] = {
         kind="int",
         default=UNIVERSAL_PARAM_DEFAULTS["pulls_per_round"],
         minimum=1,
+        affects_overlay=False,  # post-dissemination recovery only
         help="polls per pull-recovery round",
     ),
 }
@@ -389,11 +413,28 @@ def trial_config(
     )
 
 
+@dataclass
+class _OverlayContext:
+    """The snapshot provider (and root seed) active for the trial the
+    current thread is executing, if any."""
+
+    provider: object  # SnapshotProvider; untyped to avoid an import cycle
+    root_seed: int
+
+
+# Set around each executor call by execute_trial. Trial executors run
+# one-per-process (inline loop, pool worker, socket worker), so a plain
+# module global with save/restore semantics is sufficient; the socket
+# server's handler threads never execute trials.
+_OVERLAY_CONTEXT: Optional[_OverlayContext] = None
+
+
 def execute_trial(
     executor: TrialExecutor,
     spec: TrialSpec,
     config: ExperimentConfig,
     root_seed: int,
+    overlay_provider=None,
 ) -> TrialResult:
     """Run ``executor`` on one trial in a fresh RNG universe.
 
@@ -405,28 +446,71 @@ def execute_trial(
     started via spawn/forkserver, where the worker's registry only
     contains the built-ins; a module-level executor function pickles
     across fine.
+
+    ``overlay_provider`` (a
+    :class:`~repro.experiments.snapshot_store.SnapshotProvider`) is made
+    visible to the overlay builders for the duration of the call, so
+    any executor that warms up through :func:`_built_snapshot` /
+    :func:`_churned_snapshot` — including runtime-registered plugins —
+    transparently reuses cached overlays. In the provider's default
+    ``trial`` mode this changes no output byte: a hit returns exactly
+    the overlay the trial would have built, and overlay construction
+    and dissemination consume disjoint named streams.
     """
     registry = RngRegistry(root_seed).spawn(spec.key)
-    return executor(spec, trial_config(spec, config, root_seed), registry)
+    effective = trial_config(spec, config, root_seed)
+    if overlay_provider is None:
+        return executor(spec, effective, registry)
+    global _OVERLAY_CONTEXT
+    previous = _OVERLAY_CONTEXT
+    _OVERLAY_CONTEXT = _OverlayContext(overlay_provider, root_seed)
+    try:
+        return executor(spec, effective, registry)
+    finally:
+        _OVERLAY_CONTEXT = previous
 
 
 def run_trial(
-    spec: TrialSpec, config: ExperimentConfig, root_seed: int
+    spec: TrialSpec,
+    config: ExperimentConfig,
+    root_seed: int,
+    overlay_provider=None,
 ) -> TrialResult:
     """Look up the spec's scenario in this process and execute it."""
     return execute_trial(
-        resolve_scenario(spec.scenario), spec, config, root_seed
+        resolve_scenario(spec.scenario),
+        spec,
+        config,
+        root_seed,
+        overlay_provider=overlay_provider,
     )
+
+
+def _build_static_overlay(
+    spec: TrialSpec, config: ExperimentConfig, registry: RngRegistry
+):
+    """The failure-free warm-up (the ``static`` overlay family)."""
+    population = build_population(
+        config, OverlaySpec(kind=spec.protocol), registry
+    )
+    warm_up(population)
+    return freeze_overlay(population), {}
 
 
 def _built_snapshot(
     spec: TrialSpec, config: ExperimentConfig, registry: RngRegistry
 ) -> OverlaySnapshot:
-    population = build_population(
-        config, OverlaySpec(kind=spec.protocol), registry
-    )
-    warm_up(population)
-    return freeze_overlay(population)
+    context = _OVERLAY_CONTEXT
+    if context is not None:
+        snapshot, _extras = context.provider.acquire(
+            spec,
+            config,
+            context.root_seed,
+            registry,
+            builder=_build_static_overlay,
+        )
+        return snapshot
+    return _build_static_overlay(spec, config, registry)[0]
 
 
 def _disseminate_batch(
@@ -496,6 +580,27 @@ def _run_catastrophic(
     )
 
 
+def _build_churned_overlay(
+    spec: TrialSpec, config: ExperimentConfig, registry: RngRegistry
+):
+    """Warm-up under churn until full turnover (the ``churned`` family).
+
+    The turnover cycle count is part of the build outcome (churn trials
+    report it), so it rides in the entry's extras and survives caching.
+    """
+    population = build_population(
+        config, OverlaySpec(kind=spec.protocol), registry
+    )
+    churn = ArtificialChurn(spec.churn_rate, population.node_factory)
+    population.driver.churn = churn
+    warm_up(population, config.warmup_cycles)
+    cycles = population.driver.run_until(
+        churn.full_turnover_reached,
+        max_cycles=config.churn_max_cycles,
+    )
+    return freeze_overlay(population), {"churn_cycles": float(cycles)}
+
+
 def _churned_snapshot(
     spec: TrialSpec, config: ExperimentConfig, registry: RngRegistry
 ) -> Tuple[OverlaySnapshot, int]:
@@ -508,17 +613,18 @@ def _churned_snapshot(
             f"{spec.scenario!r} trials need churn_rate > 0 "
             "(use the 'static' scenario for a churn-free baseline)"
         )
-    population = build_population(
-        config, OverlaySpec(kind=spec.protocol), registry
-    )
-    churn = ArtificialChurn(spec.churn_rate, population.node_factory)
-    population.driver.churn = churn
-    warm_up(population, config.warmup_cycles)
-    cycles = population.driver.run_until(
-        churn.full_turnover_reached,
-        max_cycles=config.churn_max_cycles,
-    )
-    return freeze_overlay(population), cycles
+    context = _OVERLAY_CONTEXT
+    if context is not None:
+        snapshot, extras = context.provider.acquire(
+            spec,
+            config,
+            context.root_seed,
+            registry,
+            builder=_build_churned_overlay,
+        )
+    else:
+        snapshot, extras = _build_churned_overlay(spec, config, registry)
+    return snapshot, int(extras["churn_cycles"])
 
 
 def _run_churn(
@@ -624,6 +730,7 @@ _KILL_FRACTION = ParamSpec(
     minimum=0.0,
     maximum=1.0,
     exclusive_maximum=True,
+    affects_overlay=False,  # kills happen after the overlay is frozen
     help="fraction of nodes killed after freeze, before dissemination",
 )
 _CHURN_RATE = ParamSpec(
@@ -643,6 +750,7 @@ _CONCURRENT_MESSAGES = ParamSpec(
     default=4,
     sweepable=True,
     minimum=1,
+    affects_overlay=False,  # batching over an already-frozen overlay
     help="messages disseminated concurrently per batch",
 )
 _PULLS_PER_ROUND = ParamSpec(
@@ -651,13 +759,17 @@ _PULLS_PER_ROUND = ParamSpec(
     default=1,
     sweepable=True,
     minimum=1,
+    affects_overlay=False,  # recovery runs after dissemination
     help="polls per round of the §8 pull-recovery post-pass",
 )
 
 register_scenario(
     "static",
     _run_static,
-    ScenarioSchema(description="failure-free network (§7.1)"),
+    ScenarioSchema(
+        description="failure-free network (§7.1)",
+        overlay_family="static",
+    ),
 )
 register_scenario(
     "catastrophic",
@@ -665,6 +777,7 @@ register_scenario(
     ScenarioSchema(
         params=(_KILL_FRACTION,),
         description="mass node failure after freeze (§7.2)",
+        overlay_family="static",  # kills are injected post-freeze
     ),
 )
 register_scenario(
@@ -673,6 +786,7 @@ register_scenario(
     ScenarioSchema(
         params=(_CHURN_RATE,),
         description="continuous churn until full turnover (§7.3)",
+        overlay_family="churned",
     ),
 )
 register_scenario(
@@ -681,6 +795,7 @@ register_scenario(
     ScenarioSchema(
         params=(_CONCURRENT_MESSAGES,),
         description="concurrent multi-message load (Sanghavi et al.)",
+        overlay_family="static",  # same failure-free warm-up
     ),
 )
 register_scenario(
@@ -689,5 +804,6 @@ register_scenario(
     ScenarioSchema(
         params=(_CHURN_RATE, _PULLS_PER_ROUND),
         description="push under churn + §8 pull recovery",
+        overlay_family="churned",  # pulls run after the same churned build
     ),
 )

@@ -1,0 +1,651 @@
+"""Content-addressed overlay snapshot store + per-trial overlay reuse.
+
+Warm-up dominates sweep cost: every trial runs ~100 CYCLON+VICINITY
+gossip cycles before it disseminates a handful of messages. This module
+caches the *frozen overlay* itself — the product of that warm-up — so
+repeated builds become disk (or memory) loads.
+
+Identity is two-layered, and the split is what keeps determinism
+honest:
+
+* The **overlay key** (:func:`overlay_key`) is the fanout-independent
+  content address: overlay family (scenarios whose build procedure is
+  identical — ``static``/``catastrophic``/``multi_message`` all freeze
+  the same failure-free warm-up — declare a shared
+  ``ScenarioSchema.overlay_family``), protocol, population size, the
+  overlay-affecting scenario parameters (each
+  :class:`~repro.experiments.scenario_matrix.ParamSpec` declares
+  ``affects_overlay``; ``churn_rate`` does, ``kill_fraction`` — applied
+  *after* freeze — does not), and the replicate index. Fanout,
+  ``num_messages``, ``kill_fraction``, ``concurrent_messages`` and
+  ``pulls_per_round`` never appear in it (property-tested).
+* The **overlay seed** (:meth:`SnapshotProvider.overlay_seed`) is the
+  variant discriminator: the root seed of the RNG universe the overlay
+  is built in. Two trials share a stored snapshot exactly when they
+  would have built bit-identical overlays.
+
+That second layer exists because of a fact the engine must not paper
+over: the legacy sweep contract derives each trial's *entire* RNG
+universe from ``(root_seed, spec.key)`` — and ``spec.key`` embeds the
+fanout. Trials differing only in fanout therefore build *different*
+overlays today, and the byte-identity goldens in ``tests/data/`` pin
+that. So the provider runs in one of two modes:
+
+* ``"trial"`` (default) — overlays are built in the legacy per-trial
+  universe and the overlay seed is that universe's root. Every byte of
+  sweep output is identical with the store on, off, cold or warm; reuse
+  kicks in across re-runs (resume, repeated grids, benches) where the
+  whole warm-up is skipped.
+* ``"grid"`` — overlays are built in a universe derived from the
+  *overlay key* instead, so all dissemination-only siblings (fanouts,
+  kill fractions, message counts — and sibling scenarios of the same
+  overlay family) genuinely share one overlay per replicate, cutting
+  grid warm-up cost ~|fanouts|×. This matches the paper's own
+  methodology (one frozen overlay, swept across fanouts) but is a
+  different — equally deterministic, backend-independent — experiment
+  design than the legacy per-trial universes, so it is opt-in
+  (``run_sweep(overlay_reuse="grid")`` / ``--overlay-reuse grid``).
+
+Store files are hardened the way the per-trial result cache is:
+truncated writes, wrong-shape JSON, integrity-hash mismatches and
+seed/config mismatches are all treated as a miss and rebuilt — never a
+crash, never a silently wrong overlay.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import os
+import threading
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import RngRegistry, child_seed
+from repro.dissemination.snapshot import OverlaySnapshot
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.sweep_results import (
+    UNIVERSAL_PARAM_DEFAULTS,
+    TrialSpec,
+    canonical_json,
+)
+
+__all__ = [
+    "OVERLAY_REUSE_MODES",
+    "SNAPSHOT_FORMAT",
+    "SnapshotProvider",
+    "load_snapshot_entry",
+    "overlay_config_digest",
+    "overlay_key",
+    "overlay_params",
+    "snapshot_address",
+    "snapshot_from_dict",
+    "snapshot_path",
+    "snapshot_to_dict",
+    "store_snapshot_entry",
+]
+
+# Bump when the on-disk entry schema changes; stale files become misses.
+SNAPSHOT_FORMAT = 1
+
+OVERLAY_REUSE_MODES = ("trial", "grid")
+
+# The config fields overlay construction actually reads
+# (build_population + warm_up + the churn turnover loop). Everything
+# else — num_messages, fanouts, num_networks — is dissemination- or
+# orchestration-only and deliberately excluded, so the per-trial config
+# (which pins fanouts=(F,)) maps to one digest across fanout siblings.
+_OVERLAY_CONFIG_FIELDS = (
+    "num_nodes",
+    "view_size",
+    "shuffle_length",
+    "vicinity_gossip_length",
+    "warmup_cycles",
+    "churn_max_cycles",
+)
+
+# Universal legacy parameters that can ride on any spec without being
+# declared by its scenario. None of them shapes the *stored* overlay:
+# kill_fraction is applied after freeze, the other three are pure
+# dissemination knobs. A scenario that *declares* one (e.g. churn_rate)
+# decides via its ParamSpec.affects_overlay instead.
+_UNIVERSAL_DISSEMINATION_ONLY = frozenset(UNIVERSAL_PARAM_DEFAULTS)
+
+
+def overlay_config_digest(config: ExperimentConfig) -> str:
+    """Digest of the overlay-affecting subset of an experiment config."""
+    payload = {
+        name: getattr(config, name) for name in _OVERLAY_CONFIG_FIELDS
+    }
+    return hashlib.sha256(
+        canonical_json(payload).encode("utf-8")
+    ).hexdigest()[:16]
+
+
+def overlay_params(
+    spec: TrialSpec,
+) -> Tuple[Tuple[str, Union[int, float]], ...]:
+    """The spec parameters that shape overlay construction, sorted.
+
+    A parameter is overlay-affecting when its scenario's schema declares
+    it with ``affects_overlay=True``. Undeclared non-universal
+    parameters (a hand-built spec, or a scenario unknown in this
+    process) are included conservatively — a needlessly split cache is
+    harmless, a wrongly shared overlay never is.
+    """
+    from repro.experiments.scenario_matrix import scenario_schema
+
+    try:
+        schema = scenario_schema(spec.scenario)
+    except ConfigurationError:
+        schema = None
+    items = []
+    for name, value in spec.params:
+        declared = schema.param(name) if schema is not None else None
+        if declared is not None:
+            if declared.affects_overlay:
+                items.append((name, value))
+        elif name not in _UNIVERSAL_DISSEMINATION_ONLY:
+            items.append((name, value))
+    return tuple(items)
+
+
+def overlay_key(spec: TrialSpec) -> str:
+    """The fanout-independent content address of a trial's overlay.
+
+    Two specs share an overlay key exactly when their overlay builds
+    are the same *procedure with the same parameters*: same overlay
+    family, protocol, population, overlay-affecting parameters and
+    replicate. Fanout, ``num_messages`` and the dissemination-only
+    universal knobs never influence it.
+    """
+    from repro.experiments.scenario_matrix import scenario_schema
+
+    try:
+        schema = scenario_schema(spec.scenario)
+        family = schema.overlay_family or spec.scenario
+    except ConfigurationError:
+        family = spec.scenario
+    extra = "".join(
+        f"/{name}={value!r}" for name, value in overlay_params(spec)
+    )
+    return (
+        f"overlay/{family}/{spec.protocol}/n{spec.num_nodes}"
+        f"{extra}/rep{spec.replicate}"
+    )
+
+
+def snapshot_address(
+    spec: TrialSpec, config: ExperimentConfig, overlay_seed: int
+) -> str:
+    """Content address of one stored overlay variant.
+
+    ``overlay_seed`` is the root of the RNG universe the overlay is
+    built in; including it makes a hit return exactly the overlay the
+    trial would have built itself — the byte-identity guarantee.
+    """
+    return hashlib.sha256(
+        f"snap{SNAPSHOT_FORMAT}:{overlay_seed}:"
+        f"{overlay_config_digest(config)}:{overlay_key(spec)}".encode(
+            "utf-8"
+        )
+    ).hexdigest()[:24]
+
+
+def snapshot_path(
+    store_dir: Union[str, Path], address: str
+) -> Path:
+    """Stable file location for one overlay variant."""
+    return Path(store_dir) / f"overlay_{address}.json"
+
+
+# ----------------------------------------------------------------------
+# snapshot (de)serialisation
+# ----------------------------------------------------------------------
+
+
+def snapshot_to_dict(snapshot: OverlaySnapshot) -> Dict[str, Any]:
+    """A JSON-safe mapping that round-trips the snapshot exactly."""
+    return {
+        "kind": snapshot.kind,
+        "rlinks": {
+            str(node): list(links)
+            for node, links in snapshot.rlinks.items()
+        },
+        "dlinks": {
+            str(node): list(links)
+            for node, links in snapshot.dlinks.items()
+        },
+        "alive_ids": list(snapshot.alive_ids),
+        "ring_ids": {
+            str(node): value for node, value in snapshot.ring_ids.items()
+        },
+        "join_cycles": {
+            str(node): value
+            for node, value in snapshot.join_cycles.items()
+        },
+        "frozen_at_cycle": snapshot.frozen_at_cycle,
+    }
+
+
+def _int_keyed(table: Mapping[str, Any], values_to_tuple: bool) -> Dict:
+    out: Dict[int, Any] = {}
+    for key, value in table.items():
+        out[int(key)] = tuple(value) if values_to_tuple else value
+    return out
+
+
+def snapshot_from_dict(payload: Mapping[str, Any]) -> OverlaySnapshot:
+    """Rebuild a snapshot from its wire/disk form.
+
+    JSON stringifies dict keys and listifies tuples; this restores the
+    exact in-memory shapes so ``rebuilt == original`` holds field for
+    field (and therefore every dissemination over it draws identically).
+    """
+    return OverlaySnapshot(
+        kind=str(payload["kind"]),
+        rlinks=_int_keyed(payload["rlinks"], values_to_tuple=True),
+        dlinks=_int_keyed(payload["dlinks"], values_to_tuple=True),
+        alive_ids=tuple(int(node) for node in payload["alive_ids"]),
+        ring_ids=_int_keyed(payload["ring_ids"], values_to_tuple=False),
+        join_cycles=_int_keyed(
+            payload["join_cycles"], values_to_tuple=False
+        ),
+        frozen_at_cycle=int(payload["frozen_at_cycle"]),
+    )
+
+
+# ----------------------------------------------------------------------
+# hardened on-disk entries
+# ----------------------------------------------------------------------
+
+
+def _entry_integrity(entry: Mapping[str, Any]) -> str:
+    body = {key: value for key, value in entry.items() if key != "sha256"}
+    return hashlib.sha256(
+        canonical_json(body).encode("utf-8")
+    ).hexdigest()
+
+
+def _entry_payload(
+    spec: TrialSpec,
+    config: ExperimentConfig,
+    overlay_seed: int,
+    snapshot: OverlaySnapshot,
+    extras: Mapping[str, float],
+) -> Dict[str, Any]:
+    entry: Dict[str, Any] = {
+        "format": SNAPSHOT_FORMAT,
+        "overlay_key": overlay_key(spec),
+        "overlay_seed": overlay_seed,
+        "config": overlay_config_digest(config),
+        "snapshot": snapshot_to_dict(snapshot),
+        "extras": {name: float(value) for name, value in extras.items()},
+    }
+    entry["sha256"] = _entry_integrity(entry)
+    return entry
+
+
+def _identity_matches(
+    entry: Any,
+    spec: TrialSpec,
+    config: ExperimentConfig,
+    overlay_seed: int,
+) -> bool:
+    """Cheap validation: shape, format, identity and integrity hash.
+
+    Sufficient to *forward* an entry (the consumer re-validates and
+    decodes); :func:`_decode_entry` adds the full snapshot decode.
+    """
+    if not isinstance(entry, Mapping):
+        return False
+    if entry.get("format") != SNAPSHOT_FORMAT:
+        return False
+    if entry.get("overlay_seed") != overlay_seed:
+        return False
+    if entry.get("overlay_key") != overlay_key(spec):
+        return False
+    if entry.get("config") != overlay_config_digest(config):
+        return False
+    if entry.get("sha256") != _entry_integrity(entry):
+        return False  # truncated/bit-rotted write that still parsed
+    return True
+
+
+def _decode_entry(
+    entry: Mapping[str, Any],
+    spec: TrialSpec,
+    config: ExperimentConfig,
+    overlay_seed: int,
+) -> Optional[Tuple[OverlaySnapshot, Dict[str, float]]]:
+    """Validate + decode one entry mapping; ``None`` on any mismatch.
+
+    Mirrors ``load_cached_trial``'s hardening: wrong shape, format
+    drift, identity mismatch, integrity-hash mismatch, undecodable
+    snapshot and non-finite extras are all misses, never crashes.
+    """
+    if not _identity_matches(entry, spec, config, overlay_seed):
+        return None
+    extras_raw = entry.get("extras", {})
+    if not isinstance(extras_raw, Mapping):
+        return None
+    try:
+        snapshot = snapshot_from_dict(entry["snapshot"])
+        extras = {
+            str(name): float(value)
+            for name, value in extras_raw.items()
+        }
+    except (
+        KeyError,
+        TypeError,
+        ValueError,
+        AttributeError,
+        ConfigurationError,
+    ):
+        return None
+    if snapshot.population != spec.num_nodes:
+        return None  # collision or corruption: never serve a wrong size
+    if not all(math.isfinite(value) for value in extras.values()):
+        return None
+    return snapshot, extras
+
+
+def load_snapshot_entry(
+    store_dir: Union[str, Path],
+    spec: TrialSpec,
+    config: ExperimentConfig,
+    overlay_seed: int,
+) -> Optional[Tuple[OverlaySnapshot, Dict[str, float]]]:
+    """Load one stored overlay variant, or ``None`` (a miss)."""
+    address = snapshot_address(spec, config, overlay_seed)
+    path = snapshot_path(store_dir, address)
+    try:
+        entry = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+    return _decode_entry(entry, spec, config, overlay_seed)
+
+
+def _write_entry(
+    store_dir: Union[str, Path], address: str, entry: Mapping[str, Any]
+) -> Path:
+    """Atomically persist one already-serialized entry."""
+    path = snapshot_path(store_dir, address)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    # Writer-unique temp name: concurrent writers of the same address
+    # (e.g. two server handler threads absorbing sibling results) must
+    # never interleave into one temp file; last rename wins, and both
+    # rename identical bytes anyway.
+    tmp = path.with_suffix(
+        f".tmp{os.getpid():x}-{threading.get_ident() & 0xFFFFFF:x}"
+    )
+    tmp.write_text(canonical_json(dict(entry)) + "\n", encoding="utf-8")
+    tmp.replace(path)
+    return path
+
+
+def store_snapshot_entry(
+    store_dir: Union[str, Path],
+    spec: TrialSpec,
+    config: ExperimentConfig,
+    overlay_seed: int,
+    snapshot: OverlaySnapshot,
+    extras: Mapping[str, float],
+) -> Path:
+    """Persist one built overlay atomically (write-then-rename)."""
+    address = snapshot_address(spec, config, overlay_seed)
+    entry = _entry_payload(spec, config, overlay_seed, snapshot, extras)
+    return _write_entry(store_dir, address, entry)
+
+
+# ----------------------------------------------------------------------
+# the provider trial executors consult
+# ----------------------------------------------------------------------
+
+
+class SnapshotProvider:
+    """Acquires frozen overlays for trials: memo → store → build.
+
+    One provider is created per sweep and handed to the execution
+    backend; inside each executing process it keeps a small in-memory
+    memo (so fanout siblings scheduled on the same worker reuse the
+    parsed snapshot without touching disk) in front of the optional
+    on-disk store. The provider is picklable — only its configuration
+    crosses process boundaries, never the memo.
+
+    Args:
+        store_dir: Directory of the on-disk store, or ``None`` for a
+            memory-only provider (still useful in ``grid`` mode).
+        mode: ``"trial"`` (legacy per-trial overlay universes;
+            byte-identical output) or ``"grid"`` (overlay universes
+            derived from the fanout-independent overlay key; real
+            cross-fanout sharing, a different deterministic design).
+        max_memo: In-memory entries kept per process.
+        collect_built: Keep serialized entries for overlays built by
+            this provider until :meth:`drain_built_entries` is called.
+            Only socket workers enable this (they ship built overlays
+            back per trial); leaving it on without a drain consumer
+            would grow memory with every cold build.
+    """
+
+    def __init__(
+        self,
+        store_dir: Optional[Union[str, Path]] = None,
+        mode: str = "trial",
+        max_memo: int = 16,
+        collect_built: bool = False,
+    ) -> None:
+        if mode not in OVERLAY_REUSE_MODES:
+            raise ConfigurationError(
+                f"unknown overlay reuse mode {mode!r}; expected one of "
+                f"{OVERLAY_REUSE_MODES}"
+            )
+        self.store_dir = (
+            str(store_dir) if store_dir is not None else None
+        )
+        self.mode = mode
+        self.max_memo = max_memo
+        self.collect_built = collect_built
+        self._memo: Dict[str, Tuple[OverlaySnapshot, Dict[str, float]]] = {}
+        # Serialized wire entries by address: entries are immutable per
+        # address, and re-serializing + re-hashing a whole overlay for
+        # every sibling dispatch on the socket server would be O(links)
+        # redundant work per trial.
+        self._entry_memo: Dict[str, Dict[str, Any]] = {}
+        # The socket server consults the provider from several handler
+        # threads; memo mutation is the only shared write.
+        self._lock = threading.Lock()
+        # Counters for benches/tests; "builds" is the number of real
+        # warm-ups paid, everything else was reuse.
+        self.stats = {"memo_hits": 0, "store_hits": 0, "builds": 0}
+        # Entries built since the last drain — the socket worker ships
+        # these back so the server can seed its own store.
+        self._built_entries: list = []
+
+    # -- identity -------------------------------------------------------
+
+    def overlay_seed(self, spec: TrialSpec, root_seed: int) -> int:
+        """Root of the RNG universe this provider builds overlays in."""
+        if self.mode == "grid":
+            return child_seed(root_seed, overlay_key(spec))
+        return child_seed(root_seed, spec.key)
+
+    def address_for(
+        self, spec: TrialSpec, config: ExperimentConfig, root_seed: int
+    ) -> str:
+        """Content address of the overlay this trial disseminates over.
+
+        Backends use this as the scheduling group key: trials sharing
+        an address share an overlay, so running them on one worker means
+        it is built exactly once.
+        """
+        return snapshot_address(
+            spec, config, self.overlay_seed(spec, root_seed)
+        )
+
+    # -- acquisition ----------------------------------------------------
+
+    def acquire(
+        self,
+        spec: TrialSpec,
+        config: ExperimentConfig,
+        root_seed: int,
+        trial_registry: RngRegistry,
+        builder,
+    ) -> Tuple[OverlaySnapshot, Dict[str, float]]:
+        """The trial's frozen overlay (and build extras), reused if known.
+
+        ``builder(spec, config, registry) -> (snapshot, extras)`` runs
+        the real warm-up on a miss. In ``trial`` mode it receives the
+        trial's own registry, consuming exactly the streams the legacy
+        path consumed; in ``grid`` mode it receives a fresh registry
+        rooted at the overlay seed, leaving the trial universe for
+        dissemination only.
+        """
+        seed = self.overlay_seed(spec, root_seed)
+        address = snapshot_address(spec, config, seed)
+        cached = self._memo.get(address)
+        if cached is not None:
+            self.stats["memo_hits"] += 1
+            return cached
+        if self.store_dir is not None:
+            loaded = load_snapshot_entry(
+                self.store_dir, spec, config, seed
+            )
+            if loaded is not None:
+                self.stats["store_hits"] += 1
+                self._remember(address, loaded)
+                return loaded
+        registry = (
+            trial_registry if self.mode == "trial" else RngRegistry(seed)
+        )
+        snapshot, extras = builder(spec, config, registry)
+        extras = {name: float(value) for name, value in extras.items()}
+        self.stats["builds"] += 1
+        if self.store_dir is not None or self.collect_built:
+            # Serialize + integrity-hash exactly once, shared between
+            # the disk write, the wire (worker → server), and the
+            # dispatch memo.
+            entry = _entry_payload(spec, config, seed, snapshot, extras)
+            if self.store_dir is not None:
+                _write_entry(self.store_dir, address, entry)
+            if self.collect_built:
+                self._built_entries.append(entry)
+            self._remember_entry(address, entry)
+        built = (snapshot, extras)
+        self._remember(address, built)
+        return built
+
+    def _remember(self, address: str, value) -> None:
+        with self._lock:
+            if (
+                address not in self._memo
+                and len(self._memo) >= self.max_memo
+            ):
+                self._memo.pop(next(iter(self._memo)))  # FIFO eviction
+            self._memo[address] = value
+
+    def _remember_entry(self, address: str, entry: Dict[str, Any]) -> None:
+        with self._lock:
+            if (
+                address not in self._entry_memo
+                and len(self._entry_memo) >= self.max_memo
+            ):
+                self._entry_memo.pop(next(iter(self._entry_memo)))
+            self._entry_memo[address] = entry
+
+    # -- cross-process entry exchange (socket backend) ------------------
+
+    def preload_entry(
+        self,
+        entry: Mapping[str, Any],
+        spec: TrialSpec,
+        config: ExperimentConfig,
+        root_seed: int,
+    ) -> bool:
+        """Absorb a serialized entry (from the wire or another store).
+
+        The entry is validated exactly like a disk read — identity,
+        integrity hash, shape — and silently ignored when it does not
+        match this trial's overlay; the trial then just rebuilds.
+        """
+        seed = self.overlay_seed(spec, root_seed)
+        decoded = _decode_entry(entry, spec, config, seed)
+        if decoded is None:
+            return False
+        address = snapshot_address(spec, config, seed)
+        self._remember(address, decoded)
+        self._remember_entry(address, dict(entry))
+        if self.store_dir is not None and not snapshot_path(
+            self.store_dir, address
+        ).exists():
+            store_snapshot_entry(
+                self.store_dir, spec, config, seed, decoded[0], decoded[1]
+            )
+        return True
+
+    def entry_for(
+        self, spec: TrialSpec, config: ExperimentConfig, root_seed: int
+    ) -> Optional[Dict[str, Any]]:
+        """The serialized entry for a trial's overlay, if already known
+        (memo or disk) — what the socket server attaches to dispatches."""
+        seed = self.overlay_seed(spec, root_seed)
+        address = snapshot_address(spec, config, seed)
+        entry = self._entry_memo.get(address)
+        if entry is not None:
+            return entry
+        cached = self._memo.get(address)
+        if cached is not None:
+            entry = _entry_payload(spec, config, seed, cached[0], cached[1])
+            self._remember_entry(address, entry)
+            return entry
+        if self.store_dir is None:
+            return None
+        # Disk path: the file *is* the serialized entry — forward it
+        # after the cheap identity + integrity checks instead of
+        # decoding a whole overlay just to re-encode and re-hash it
+        # per dispatch (the receiving worker fully validates anyway).
+        try:
+            raw = json.loads(
+                snapshot_path(self.store_dir, address).read_text(
+                    encoding="utf-8"
+                )
+            )
+        except (OSError, ValueError):
+            return None
+        if not _identity_matches(raw, spec, config, seed):
+            return None
+        self._remember_entry(address, raw)
+        return raw
+
+    def drain_built_entries(self) -> list:
+        """Entries built since the last drain (socket workers ship them
+        back with their results so the server's store warms up)."""
+        built, self._built_entries = self._built_entries, []
+        return built
+
+    # -- pickling: configuration only, never the memo -------------------
+
+    def __getstate__(self):
+        return {
+            "store_dir": self.store_dir,
+            "mode": self.mode,
+            "max_memo": self.max_memo,
+            "collect_built": self.collect_built,
+        }
+
+    def __setstate__(self, state):
+        self.__init__(
+            store_dir=state["store_dir"],
+            mode=state["mode"],
+            max_memo=state["max_memo"],
+            collect_built=state["collect_built"],
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"SnapshotProvider(mode={self.mode!r}, "
+            f"store_dir={self.store_dir!r})"
+        )

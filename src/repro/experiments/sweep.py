@@ -54,6 +54,10 @@ from repro.experiments.scenario_matrix import (
     scenario_names,
     trial_config,
 )
+from repro.experiments.snapshot_store import (
+    OVERLAY_REUSE_MODES,
+    SnapshotProvider,
+)
 from repro.experiments.sweep_backends import (
     SweepBackend,
     resolve_backend,
@@ -253,6 +257,8 @@ def run_sweep(
     progress: Optional[SweepProgress] = None,
     backend: Union[str, SweepBackend, None] = None,
     listen: Optional[Tuple[str, int]] = None,
+    snapshot_cache: Optional[Union[str, Path]] = None,
+    overlay_reuse: str = "trial",
 ) -> SweepResult:
     """Expand ``grid``, execute every trial, aggregate into a result.
 
@@ -279,19 +285,48 @@ def run_sweep(
             at ``workers=1``, process pool otherwise).
         listen: ``(host, port)`` the socket backend binds; ignored by
             the in-process backends.
+        snapshot_cache: Directory of the content-addressed overlay
+            snapshot store (see
+            :mod:`repro.experiments.snapshot_store`). Built overlays
+            are persisted and re-runs skip their warm-up entirely.
+            ``None`` disables the on-disk store.
+        overlay_reuse: ``"trial"`` (default) keeps the legacy
+            per-trial overlay universes — every output byte identical
+            with the store on or off. ``"grid"`` derives overlay
+            construction from the fanout-independent overlay key so
+            dissemination-only siblings (fanouts, kill fractions,
+            message counts) share one overlay per replicate — the
+            paper's own freeze-once-sweep-fanouts methodology, still
+            fully deterministic and backend-independent, but a
+            different experiment design than ``"trial"``.
     """
+    if overlay_reuse not in OVERLAY_REUSE_MODES:
+        raise ConfigurationError(
+            f"unknown overlay_reuse {overlay_reuse!r}; expected one of "
+            f"{OVERLAY_REUSE_MODES}"
+        )
+    provider = (
+        SnapshotProvider(store_dir=snapshot_cache, mode=overlay_reuse)
+        if snapshot_cache is not None or overlay_reuse != "trial"
+        else None
+    )
     backend_obj = resolve_backend(backend, workers=workers, listen=listen)
     config = base_config if base_config is not None else ExperimentConfig()
     specs = grid.expand()
 
     # Cache identity covers the *effective* per-trial config, not just
     # the spec: a smoke run with --warmup 10 must never be served back
-    # as a full-warm-up sweep.
+    # as a full-warm-up sweep. Non-default overlay-reuse modes are part
+    # of that identity too — grid-mode results come from different
+    # overlays, and resuming a trial-mode cache into a grid-mode sweep
+    # (or vice versa) would silently mix the two designs in one JSON.
+    # The default mode keeps the bare fingerprint so pre-existing
+    # caches stay valid.
+    mode_tag = "" if overlay_reuse == "trial" else f"overlay={overlay_reuse}:"
     digests = (
         {
-            spec: config_fingerprint(
-                trial_config(spec, config, root_seed)
-            )
+            spec: mode_tag
+            + config_fingerprint(trial_config(spec, config, root_seed))
             for spec in specs
         }
         if cache_dir is not None
@@ -329,9 +364,22 @@ def run_sweep(
         for scenario in {spec.scenario for spec in specs}
     }
     if pending:
-        backend_obj.run_trials(
-            tuple(pending), config, root_seed, executors, finish
-        )
+        if provider is not None:
+            backend_obj.run_trials(
+                tuple(pending),
+                config,
+                root_seed,
+                executors,
+                finish,
+                provider=provider,
+            )
+        else:
+            # Legacy call shape: custom SweepBackend implementations
+            # predating the snapshot store keep working untouched as
+            # long as no provider is requested.
+            backend_obj.run_trials(
+                tuple(pending), config, root_seed, executors, finish
+            )
 
     ordered = tuple(results[index] for index in range(len(specs)))
     return SweepResult(root_seed=root_seed, trials=ordered)

@@ -69,7 +69,12 @@ from typing import (
 
 from repro.common.errors import ConfigurationError
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.scenario_matrix import execute_trial, run_trial
+from repro.experiments.scenario_matrix import (
+    execute_trial,
+    run_trial,
+    trial_config,
+)
+from repro.experiments.snapshot_store import SnapshotProvider
 from repro.experiments.sweep_results import (
     TrialResult,
     TrialSpec,
@@ -90,8 +95,10 @@ __all__ = [
     "config_to_wire",
     "decode_frames",
     "encode_frame",
+    "group_pending_by_overlay",
     "parse_endpoint",
     "resolve_backend",
+    "run_timed_trial_group",
     "run_worker",
 ]
 
@@ -271,11 +278,64 @@ def run_timed_trial(
     config: ExperimentConfig,
     root_seed: int,
     executor: Callable,
+    provider: Optional[SnapshotProvider] = None,
 ) -> Tuple[TrialResult, float]:
     """Run one trial with the given executor, timing it where it runs."""
     started = time.perf_counter()
-    result = execute_trial(executor, spec, config, root_seed)
+    result = execute_trial(
+        executor, spec, config, root_seed, overlay_provider=provider
+    )
     return result, time.perf_counter() - started
+
+
+def run_timed_trial_group(
+    items: Sequence[Tuple[int, TrialSpec]],
+    config: ExperimentConfig,
+    root_seed: int,
+    executors: TrialExecutors,
+    provider: Optional[SnapshotProvider],
+) -> List[Tuple[int, TrialResult, float]]:
+    """Run trials sharing one overlay sequentially in this process.
+
+    The sweep engine groups pending trials by snapshot address so a
+    whole group lands on one pool worker: the first member builds (or
+    loads) the overlay, the rest hit the provider's in-process memo —
+    one warm-up per overlay instead of one per trial.
+    """
+    out: List[Tuple[int, TrialResult, float]] = []
+    for index, spec in items:
+        result, seconds = run_timed_trial(
+            spec, config, root_seed, executors[spec.scenario], provider
+        )
+        out.append((index, result, seconds))
+    return out
+
+
+def group_pending_by_overlay(
+    pending: PendingTrials,
+    config: ExperimentConfig,
+    root_seed: int,
+    provider: SnapshotProvider,
+) -> List[List[Tuple[int, TrialSpec]]]:
+    """Partition pending trials into overlay-sharing groups.
+
+    Groups preserve first-occurrence order and members keep grid order,
+    so scheduling stays deterministic; under the default ``trial``
+    overlay-reuse mode every group is a singleton (per-trial overlay
+    universes never collide) and grouping degenerates to the legacy
+    per-trial dispatch.
+    """
+    groups: Dict[str, List[Tuple[int, TrialSpec]]] = {}
+    order: List[str] = []
+    for index, spec in pending:
+        address = provider.address_for(
+            spec, trial_config(spec, config, root_seed), root_seed
+        )
+        if address not in groups:
+            groups[address] = []
+            order.append(address)
+        groups[address].append((index, spec))
+    return [groups[address] for address in order]
 
 
 class SweepBackend(ABC):
@@ -285,6 +345,14 @@ class SweepBackend(ABC):
     exactly once per pending trial, from the caller's thread — the
     sweep engine does cache writes and progress narration inside it.
     Completion *order* is free; the engine reassembles grid order.
+
+    ``provider`` (a
+    :class:`~repro.experiments.snapshot_store.SnapshotProvider`) is
+    passed only when the sweep runs with the overlay snapshot store /
+    overlay reuse enabled; backends thread it to the trial executors
+    so warm-ups can be skipped. The engine omits the argument entirely
+    when no provider is configured, so pre-store custom backends keep
+    working unchanged.
     """
 
     name: str = "abstract"
@@ -297,6 +365,7 @@ class SweepBackend(ABC):
         root_seed: int,
         executors: TrialExecutors,
         finish: FinishHook,
+        provider: Optional[SnapshotProvider] = None,
     ) -> None:
         """Execute every ``(index, spec)`` pair and report via ``finish``."""
 
@@ -320,11 +389,11 @@ class InlineBackend(SweepBackend):
     name = "inline"
 
     def run_trials(
-        self, pending, config, root_seed, executors, finish
+        self, pending, config, root_seed, executors, finish, provider=None
     ) -> None:
         for index, spec in pending:
             result, seconds = run_timed_trial(
-                spec, config, root_seed, executors[spec.scenario]
+                spec, config, root_seed, executors[spec.scenario], provider
             )
             finish(index, spec, result, seconds)
 
@@ -350,12 +419,17 @@ class ProcessPoolBackend(SweepBackend):
         self.workers = workers
 
     def run_trials(
-        self, pending, config, root_seed, executors, finish
+        self, pending, config, root_seed, executors, finish, provider=None
     ) -> None:
         if self.workers == 1 or len(pending) <= 1:
             # A one-wide pool is pure overhead; run inline.
             InlineBackend().run_trials(
-                pending, config, root_seed, executors, finish
+                pending, config, root_seed, executors, finish, provider
+            )
+            return
+        if provider is not None:
+            self._run_grouped(
+                pending, config, root_seed, executors, finish, provider
             )
             return
         with ProcessPoolExecutor(
@@ -375,6 +449,82 @@ class ProcessPoolBackend(SweepBackend):
                 index, spec = futures[future]
                 result, seconds = future.result()
                 finish(index, spec, result, seconds)
+
+    def _run_grouped(
+        self, pending, config, root_seed, executors, finish, provider
+    ) -> None:
+        """Overlay-aware dispatch: each shared overlay is built by
+        exactly one worker. With ``overlay_reuse="trial"`` every group
+        is a singleton and this degenerates to the plain per-trial
+        dispatch above.
+
+        When there are at least as many overlay groups as workers, one
+        pool task per group keeps every core busy. When groups are
+        *fewer* than workers (one protocol, many fanouts) and the
+        provider has an on-disk store, whole-group tasks would idle
+        most of the pool — so instead each group's first trial runs
+        alone (building and persisting the overlay), and the remaining
+        trials then fan out individually at full width, loading the
+        stored overlay. Without a disk store the sibling processes
+        could not share the build, so grouped dispatch is kept there.
+        """
+        groups = group_pending_by_overlay(
+            pending, config, root_seed, provider
+        )
+        specs_by_index = {index: spec for index, spec in pending}
+        width = min(self.workers, len(pending))
+
+        def executors_for(items):
+            return {
+                scenario: executors[scenario]
+                for scenario in {spec.scenario for _idx, spec in items}
+            }
+
+        if provider.store_dir is None or len(groups) >= width:
+            with ProcessPoolExecutor(
+                max_workers=min(width, len(groups))
+            ) as pool:
+                futures = [
+                    pool.submit(
+                        run_timed_trial_group,
+                        group,
+                        config,
+                        root_seed,
+                        executors_for(group),
+                        provider,
+                    )
+                    for group in groups
+                ]
+                for future in as_completed(futures):
+                    for index, result, seconds in future.result():
+                        finish(
+                            index, specs_by_index[index], result, seconds
+                        )
+            return
+
+        leaders = [group[0] for group in groups]
+        followers = [item for group in groups for item in group[1:]]
+        with ProcessPoolExecutor(max_workers=width) as pool:
+            for phase in (leaders, followers):
+                # The phase boundary is what guarantees followers find
+                # their overlay already persisted instead of rebuilding
+                # it; results are identical either way, this is purely
+                # scheduling.
+                futures = {
+                    pool.submit(
+                        run_timed_trial,
+                        spec,
+                        config,
+                        root_seed,
+                        executors[spec.scenario],
+                        provider,
+                    ): (index, spec)
+                    for index, spec in phase
+                }
+                for future in as_completed(futures):
+                    index, spec = futures[future]
+                    result, seconds = future.result()
+                    finish(index, spec, result, seconds)
 
     def run_jobs(self, jobs) -> List[Any]:
         if self.workers == 1 or len(jobs) <= 1:
@@ -400,14 +550,17 @@ class _ServerState:
         pending: PendingTrials,
         config: ExperimentConfig,
         root_seed: int,
+        provider: Optional[SnapshotProvider] = None,
     ) -> None:
         self.jobs: "queue.Queue[Tuple[int, TrialSpec]]" = queue.Queue()
         for item in pending:
             self.jobs.put(item)
         self.results: "queue.Queue[Tuple]" = queue.Queue()
         self.stop = threading.Event()
+        self.config = config
         self.config_wire = config_to_wire(config)
         self.root_seed = root_seed
+        self.provider = provider
         self.connections_seen = 0
         self.active_handlers = 0
         self.lock = threading.Lock()
@@ -586,6 +739,27 @@ class SocketWorkerBackend(SweepBackend):
                     )
                 )
                 return
+            if (
+                state.provider is not None
+                and state.provider.mode != "trial"
+                and not hello.get("snapshots")
+            ):
+                # A pre-snapshot worker would build overlays in the
+                # legacy per-trial universes — silently different
+                # results under overlay_reuse="grid". Turn it away.
+                conn.sendall(
+                    encode_frame(
+                        {
+                            "type": "reject",
+                            "reason": (
+                                "this sweep runs overlay_reuse="
+                                f"{state.provider.mode!r} and needs "
+                                "snapshot-capable workers"
+                            ),
+                        }
+                    )
+                )
+                return
             conn.settimeout(None)
             with state.lock:
                 state.active_handlers += 1
@@ -596,18 +770,31 @@ class SocketWorkerBackend(SweepBackend):
                 except queue.Empty:
                     continue
                 index, spec = job
-                try:
-                    conn.sendall(
-                        encode_frame(
-                            {
-                                "type": "trial",
-                                "job": index,
-                                "root_seed": state.root_seed,
-                                "spec": spec.to_dict(),
-                                "config": state.config_wire,
-                            }
-                        )
+                message: Dict[str, Any] = {
+                    "type": "trial",
+                    "job": index,
+                    "root_seed": state.root_seed,
+                    "spec": spec.to_dict(),
+                    "config": state.config_wire,
+                }
+                if state.provider is not None:
+                    message["overlay"] = {"mode": state.provider.mode}
+                    entry = state.provider.entry_for(
+                        spec,
+                        trial_config(spec, state.config, state.root_seed),
+                        state.root_seed,
                     )
+                    if entry is not None:
+                        message["snapshot_entry"] = entry
+                try:
+                    try:
+                        frame = encode_frame(message)
+                    except ProtocolError:
+                        # Snapshot too large for a frame: ship the bare
+                        # trial; the worker just rebuilds the overlay.
+                        message.pop("snapshot_entry", None)
+                        frame = encode_frame(message)
+                    conn.sendall(frame)
                     reply = _recv_message(conn, decoder, inbox)
                 except (OSError, ConnectionError, ProtocolError):
                     state.jobs.put(job)  # crashed mid-trial: re-dispatch
@@ -620,6 +807,20 @@ class SocketWorkerBackend(SweepBackend):
                         seconds = float(reply.get("seconds", 0.0))
                     except (TypeError, ValueError):
                         seconds = 0.0  # garbage timing isn't worth a crash
+                    if state.provider is not None:
+                        built = reply.get("snapshot_entries", ())
+                        if isinstance(built, list):
+                            for entry in built:
+                                # Validated like a disk read; a stale or
+                                # corrupt entry is simply not absorbed.
+                                state.provider.preload_entry(
+                                    entry,
+                                    spec,
+                                    trial_config(
+                                        spec, state.config, state.root_seed
+                                    ),
+                                    state.root_seed,
+                                )
                     state.results.put(
                         ("done", index, spec, reply.get("result"), seconds)
                     )
@@ -654,11 +855,11 @@ class SocketWorkerBackend(SweepBackend):
     # -- the collecting main loop --------------------------------------
 
     def run_trials(
-        self, pending, config, root_seed, executors, finish
+        self, pending, config, root_seed, executors, finish, provider=None
     ) -> None:
         if not pending:
             return
-        state = _ServerState(pending, config, root_seed)
+        state = _ServerState(pending, config, root_seed, provider)
         server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         try:
@@ -807,18 +1008,31 @@ def run_worker(
     Scenarios are resolved by name in this process
     (:func:`~repro.experiments.scenario_matrix.run_trial`), so custom
     scenarios must be registered/importable on the worker side.
+
+    When the server runs with the overlay snapshot store, trial frames
+    may carry a serialized pre-built overlay (``snapshot_entry``); the
+    worker then skips the warm-up entirely. Overlays the worker does
+    build itself are shipped back with the result
+    (``snapshot_entries``) so the server can hand them to the trial's
+    siblings.
     """
     endpoint = (
         parse_endpoint(connect) if isinstance(connect, str) else connect
     )
     completed = 0
+    # One provider per overlay-reuse mode, persistent across trials:
+    # sibling trials dispatched to this worker reuse the in-memory
+    # overlay even when the server never ships one.
+    providers: Dict[str, SnapshotProvider] = {}
     with socket.create_connection(endpoint) as conn:
         # Symmetric to the server side: if the server host vanishes
         # without a FIN, exit within ~a minute instead of holding the
         # process in recv for the kernel-default hours.
         _enable_keepalive(conn)
         conn.sendall(
-            encode_frame({"type": "hello", "format": WIRE_FORMAT})
+            encode_frame(
+                {"type": "hello", "format": WIRE_FORMAT, "snapshots": True}
+            )
         )
         decoder = FrameDecoder()
         inbox: List[Dict[str, Any]] = []
@@ -838,10 +1052,34 @@ def run_worker(
                 os._exit(17)
             spec = TrialSpec.from_dict(message["spec"])
             config = config_from_wire(message["config"])
+            root_seed = int(message["root_seed"])
             started = time.perf_counter()
             try:
+                provider = None
+                overlay = message.get("overlay")
+                if isinstance(overlay, dict):
+                    mode = overlay.get("mode", "trial")
+                    provider = providers.get(mode)
+                    if provider is None:
+                        # Raises on a mode this build does not know —
+                        # reported as a trial error, which aborts the
+                        # sweep instead of mis-running it. collect_built
+                        # because this worker drains + ships the built
+                        # entries with each result.
+                        provider = SnapshotProvider(
+                            mode=mode, collect_built=True
+                        )
+                        providers[mode] = provider
+                    entry = message.get("snapshot_entry")
+                    if isinstance(entry, dict):
+                        provider.preload_entry(
+                            entry,
+                            spec,
+                            trial_config(spec, config, root_seed),
+                            root_seed,
+                        )
                 result = run_trial(
-                    spec, config, int(message["root_seed"])
+                    spec, config, root_seed, overlay_provider=provider
                 )
             except Exception as exc:  # deterministic: report, don't retry
                 conn.sendall(
@@ -855,16 +1093,24 @@ def run_worker(
                 )
                 return completed
             seconds = time.perf_counter() - started
-            conn.sendall(
-                encode_frame(
-                    {
-                        "type": "result",
-                        "job": message["job"],
-                        "seconds": seconds,
-                        "result": result.to_dict(),
-                    }
-                )
-            )
+            payload: Dict[str, Any] = {
+                "type": "result",
+                "job": message["job"],
+                "seconds": seconds,
+                "result": result.to_dict(),
+            }
+            if provider is not None:
+                built = provider.drain_built_entries()
+                if built:
+                    payload["snapshot_entries"] = built
+            try:
+                frame = encode_frame(payload)
+            except ProtocolError:
+                # Overlay too large for a frame: still report the
+                # result; siblings will rebuild instead of reusing.
+                payload.pop("snapshot_entries", None)
+                frame = encode_frame(payload)
+            conn.sendall(frame)
             completed += 1
             if progress is not None:
                 progress(spec.key, seconds)

@@ -91,14 +91,19 @@ class RingProximity:
         ref = self.key(reference)
         space = self.space
         idx = self.ring_index
-        return heapq.nsmallest(
-            count,
-            candidates,
-            key=lambda d: min(
-                (d.profile.ring_ids[idx] - ref) % space,
-                (ref - d.profile.ring_ids[idx]) % space,
-            ),
-        )
+
+        def distance(descriptor: NodeDescriptor) -> int:
+            # One ring-ID lookup per candidate (the selection runs for
+            # every node on every warm-up cycle; the obvious
+            # min(cw, ccw) form reads the profile twice).
+            forward = (descriptor.profile.ring_ids[idx] - ref) % space
+            backward = space - forward
+            return forward if forward <= backward else backward
+
+        # O(n log count) partial selection; ties break in candidate
+        # order exactly like the full stable sort it replaces (pinned
+        # by the overlay-equivalence tests).
+        return heapq.nsmallest(count, candidates, key=distance)
 
     def ring_neighbors(
         self,
@@ -165,19 +170,50 @@ class OrderedRingProximity:
         """Balanced nearest successors + predecessors in key order."""
         if count <= 0 or not candidates:
             return []
-        ref = self.key_fn(reference)
-        above = sorted(
-            (d for d in candidates if self.key_fn(d.profile) > ref),
-            key=lambda d: self.key_fn(d.profile),
-        )
-        below = sorted(
-            (d for d in candidates if self.key_fn(d.profile) < ref),
-            key=lambda d: self.key_fn(d.profile),
-            reverse=True,
-        )
-        # Circular order: past the highest key we wrap to the lowest.
-        successors = above + below[::-1]
-        predecessors = below + above[::-1]
+        key_fn = self.key_fn
+        ref = key_fn(reference)
+        above: List[Tuple[object, int, NodeDescriptor]] = []
+        below: List[Tuple[object, int, NodeDescriptor]] = []
+        for index, descriptor in enumerate(candidates):
+            key = key_fn(descriptor.profile)
+            if key > ref:
+                above.append((key, index, descriptor))
+            elif key < ref:
+                below.append((key, index, descriptor))
+        # The selection loop below never looks past the ``count``
+        # nearest entries of either circular direction, so partial heap
+        # selection (O(n log count)) replaces the two full sorts the
+        # seed code paid per exchange. The index decoration reproduces
+        # the stable sorts' tie order *and* the reversed-list tie order
+        # exactly — byte-identical overlays, pinned by the
+        # overlay-equivalence tests:
+        #   successors  = above asc (ties: first wins)
+        #               + wrapped below, i.e. reversed stable-desc
+        #                 (key asc, ties: last wins)
+        #   predecessors = below stable-desc (key desc, ties: first wins)
+        #               + reversed above (key desc, ties: last wins)
+        successors = [
+            entry[2]
+            for entry in heapq.nsmallest(
+                count, above, key=lambda e: (e[0], e[1])
+            )
+        ] + [
+            entry[2]
+            for entry in heapq.nsmallest(
+                count, below, key=lambda e: (e[0], -e[1])
+            )
+        ]
+        predecessors = [
+            entry[2]
+            for entry in heapq.nlargest(
+                count, below, key=lambda e: (e[0], -e[1])
+            )
+        ] + [
+            entry[2]
+            for entry in heapq.nlargest(
+                count, above, key=lambda e: (e[0], e[1])
+            )
+        ]
         want_succ = (count + 1) // 2
         chosen: List[NodeDescriptor] = []
         seen: set = set()

@@ -576,7 +576,13 @@ class TestRunWorker:
     def test_worker_runs_trial_and_obeys_shutdown(self):
         def script(conn, recv, outcome):
             hello = recv()
-            assert hello == {"type": "hello", "format": WIRE_FORMAT}
+            # The worker advertises the snapshot-shipping capability so
+            # overlay_reuse="grid" servers can gate on it.
+            assert hello == {
+                "type": "hello",
+                "format": WIRE_FORMAT,
+                "snapshots": True,
+            }
             conn.sendall(encode_frame(_trial_message(9)))
             reply = recv()
             outcome["reply"] = reply
