@@ -214,6 +214,8 @@ def run_sweep(
     spec: Union[SweepSpec, str, Path, None] = None,
     snapshot_cache: Optional[Union[str, Path]] = None,
     overlay_reuse: str = "trial",
+    core: str = "auto",
+    snapshot_cache_max_bytes: Optional[int] = None,
     **config_overrides,
 ) -> SweepResult:
     """Run a declarative (protocol × N × fanout × scenario × seed) grid.
@@ -277,7 +279,17 @@ def run_sweep(
     freeze-once-sweep-fanouts methodology; deterministic and
     backend-independent, but a different experiment design than the
     default per-trial universes (its numbers differ from legacy runs,
-    so it is opt-in).
+    so it is opt-in). ``snapshot_cache_max_bytes`` caps the store's
+    on-disk size; least-recently-used entries are evicted after each
+    write.
+
+    ``core`` selects the dissemination executor: ``"auto"`` (default)
+    switches to the vectorized array core
+    (:mod:`repro.arraysim`) at populations of
+    :data:`~repro.arraysim.ARRAY_CORE_MIN_NODES` and above,
+    ``"object"`` forces the reference executor everywhere
+    (byte-identical to historical sweeps at any size), and ``"array"``
+    forces the array core. See ``docs/performance.md``.
 
     Scenario names come from
     :mod:`repro.experiments.scenario_matrix` (``static``,
@@ -412,4 +424,6 @@ def run_sweep(
         listen=listen,
         snapshot_cache=snapshot_cache,
         overlay_reuse=overlay_reuse,
+        core=core,
+        snapshot_cache_max_bytes=snapshot_cache_max_bytes,
     )

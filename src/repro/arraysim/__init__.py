@@ -1,0 +1,49 @@
+"""Array-native dissemination core.
+
+A struct-of-arrays mirror of the object core: frozen overlays become
+CSR-style numpy arrays (:class:`ArrayOverlay`), and dissemination
+advances a whole hop frontier per step with batched neighbor gathers
+and array-reduction counters (:func:`disseminate`).
+
+Two RNG regimes share the vectorized frontier machinery:
+
+* **compat** — pass a :class:`random.Random` and per-node target
+  selection replays the object core's exact draw sequence, so results
+  are *bit-identical* to :func:`repro.dissemination.executor.disseminate`
+  (the hypothesis equivalence suite pins this).
+* **fast** — pass a :class:`numpy.random.Generator` and selection is
+  fully vectorized (padded pools + partial Fisher–Yates); statistically
+  equivalent, and still exactly equal whenever no random draw is needed
+  (flooding, or budget >= pool everywhere).
+
+The :mod:`~repro.arraysim.codec` module packs snapshots into compact
+``.npz`` payloads so the snapshot store can persist large overlays.
+"""
+
+from repro.arraysim.codec import (
+    CODEC_FORMAT,
+    SnapshotCodecError,
+    decode_snapshot,
+    encode_snapshot,
+)
+from repro.arraysim.engine import (
+    ARRAY_CORE_MIN_NODES,
+    disseminate,
+    disseminate_many,
+    numpy_targets_rng,
+    supports_policy,
+)
+from repro.arraysim.overlay import ArrayOverlay
+
+__all__ = [
+    "ARRAY_CORE_MIN_NODES",
+    "ArrayOverlay",
+    "CODEC_FORMAT",
+    "SnapshotCodecError",
+    "decode_snapshot",
+    "disseminate",
+    "disseminate_many",
+    "encode_snapshot",
+    "numpy_targets_rng",
+    "supports_policy",
+]

@@ -54,11 +54,13 @@ crash, never a silently wrong overlay.
 
 from __future__ import annotations
 
+import base64
 import hashlib
 import json
 import math
 import os
 import threading
+import zlib
 from pathlib import Path
 from typing import Any, Dict, Mapping, Optional, Tuple, Union
 
@@ -73,9 +75,11 @@ from repro.experiments.sweep_results import (
 )
 
 __all__ = [
+    "NPZ_ENTRY_MIN_NODES",
     "OVERLAY_REUSE_MODES",
     "SNAPSHOT_FORMAT",
     "SnapshotProvider",
+    "gc_snapshot_store",
     "load_snapshot_entry",
     "overlay_config_digest",
     "overlay_key",
@@ -91,6 +95,24 @@ __all__ = [
 SNAPSHOT_FORMAT = 1
 
 OVERLAY_REUSE_MODES = ("trial", "grid")
+
+# Version-tagged header marking a zlib-deflated entry file. Files
+# without it are parsed as the historical plain-JSON format, so stores
+# written before compression landed keep loading untouched.
+_ENTRY_MAGIC = b"RSNAPZ1\n"
+
+# Entries smaller than this are stored as plain JSON: compressing a
+# couple of kilobytes saves nothing worth the opacity.
+_ENTRY_DEFLATE_MIN_BYTES = 4096
+
+#: Populations at (or above) this size store their snapshot as a
+#: base64 ``.npz`` payload (:mod:`repro.arraysim.codec`) instead of the
+#: nested-JSON form — roughly an order of magnitude smaller on disk and
+#: on the socket wire. The codec canonicalises zero-valued
+#: ``ring_ids``/``join_cycles`` entries away, which no post-freeze
+#: consumer can observe, but small seed-scale entries keep the exact
+#: JSON round-trip anyway.
+NPZ_ENTRY_MIN_NODES = 10_000
 
 # The config fields overlay construction actually reads
 # (build_population + warm_up + the churn turnover loop). Everything
@@ -281,9 +303,16 @@ def _entry_payload(
         "overlay_key": overlay_key(spec),
         "overlay_seed": overlay_seed,
         "config": overlay_config_digest(config),
-        "snapshot": snapshot_to_dict(snapshot),
         "extras": {name: float(value) for name, value in extras.items()},
     }
+    if snapshot.population >= NPZ_ENTRY_MIN_NODES:
+        from repro.arraysim import encode_snapshot
+
+        entry["snapshot_npz"] = base64.b64encode(
+            encode_snapshot(snapshot)
+        ).decode("ascii")
+    else:
+        entry["snapshot"] = snapshot_to_dict(snapshot)
     entry["sha256"] = _entry_integrity(entry)
     return entry
 
@@ -332,7 +361,14 @@ def _decode_entry(
     if not isinstance(extras_raw, Mapping):
         return None
     try:
-        snapshot = snapshot_from_dict(entry["snapshot"])
+        if "snapshot_npz" in entry:
+            from repro.arraysim import decode_snapshot
+
+            snapshot = decode_snapshot(
+                base64.b64decode(entry["snapshot_npz"], validate=True)
+            )
+        else:
+            snapshot = snapshot_from_dict(entry["snapshot"])
         extras = {
             str(name): float(value)
             for name, value in extras_raw.items()
@@ -340,7 +376,7 @@ def _decode_entry(
     except (
         KeyError,
         TypeError,
-        ValueError,
+        ValueError,  # includes SnapshotCodecError and binascii.Error
         AttributeError,
         ConfigurationError,
     ):
@@ -350,6 +386,35 @@ def _decode_entry(
     if not all(math.isfinite(value) for value in extras.values()):
         return None
     return snapshot, extras
+
+
+def _parse_entry_bytes(blob: bytes) -> Any:
+    """JSON entry from file bytes, inflating the tagged format.
+
+    Raises ``ValueError`` (or ``zlib.error``) on anything malformed;
+    callers treat both as a miss.
+    """
+    if blob.startswith(_ENTRY_MAGIC):
+        blob = zlib.decompress(blob[len(_ENTRY_MAGIC):])
+    return json.loads(blob.decode("utf-8"))
+
+
+def _encode_entry_bytes(entry: Mapping[str, Any]) -> bytes:
+    raw = (canonical_json(dict(entry)) + "\n").encode("utf-8")
+    if len(raw) >= _ENTRY_DEFLATE_MIN_BYTES:
+        packed = _ENTRY_MAGIC + zlib.compress(raw, 6)
+        if len(packed) < len(raw):
+            return packed
+    return raw
+
+
+def _touch(path: Path) -> None:
+    """Best-effort mtime bump: reads mark entries recently-used so the
+    size-cap GC evicts oldest-*accessed* files, not oldest-written."""
+    try:
+        os.utime(path)
+    except OSError:
+        pass
 
 
 def load_snapshot_entry(
@@ -362,10 +427,13 @@ def load_snapshot_entry(
     address = snapshot_address(spec, config, overlay_seed)
     path = snapshot_path(store_dir, address)
     try:
-        entry = json.loads(path.read_text(encoding="utf-8"))
-    except (OSError, ValueError):
+        entry = _parse_entry_bytes(path.read_bytes())
+    except (OSError, ValueError, zlib.error):
         return None
-    return _decode_entry(entry, spec, config, overlay_seed)
+    decoded = _decode_entry(entry, spec, config, overlay_seed)
+    if decoded is not None:
+        _touch(path)
+    return decoded
 
 
 def _write_entry(
@@ -381,9 +449,48 @@ def _write_entry(
     tmp = path.with_suffix(
         f".tmp{os.getpid():x}-{threading.get_ident() & 0xFFFFFF:x}"
     )
-    tmp.write_text(canonical_json(dict(entry)) + "\n", encoding="utf-8")
+    tmp.write_bytes(_encode_entry_bytes(entry))
     tmp.replace(path)
     return path
+
+
+def gc_snapshot_store(
+    store_dir: Union[str, Path], max_bytes: int
+) -> int:
+    """Evict least-recently-used entries until the store fits the cap.
+
+    Entries are ranked by mtime (reads bump it, so this is
+    least-recently-*accessed*); the newest entry always survives, even
+    when it alone exceeds the cap — evicting what was just written
+    would turn the store into a no-op. Returns the number of files
+    removed. Everything is best-effort: a concurrently vanished or
+    unstatable file is simply skipped.
+    """
+    try:
+        paths = list(Path(store_dir).glob("overlay_*.json"))
+    except OSError:
+        return 0
+    ranked = []
+    total = 0
+    for path in paths:
+        try:
+            stat = path.stat()
+        except OSError:
+            continue
+        ranked.append((stat.st_mtime, stat.st_size, path))
+        total += stat.st_size
+    ranked.sort()
+    removed = 0
+    for mtime, size, path in ranked[:-1]:  # newest always survives
+        if total <= max_bytes:
+            break
+        try:
+            path.unlink()
+        except OSError:
+            continue
+        total -= size
+        removed += 1
+    return removed
 
 
 def store_snapshot_entry(
@@ -428,6 +535,10 @@ class SnapshotProvider:
             Only socket workers enable this (they ship built overlays
             back per trial); leaving it on without a drain consumer
             would grow memory with every cold build.
+        max_store_bytes: Size cap for the on-disk store;
+            :func:`gc_snapshot_store` runs after every write this
+            provider makes, evicting least-recently-used entries until
+            the directory fits. ``None`` (default) means unbounded.
     """
 
     def __init__(
@@ -436,11 +547,16 @@ class SnapshotProvider:
         mode: str = "trial",
         max_memo: int = 16,
         collect_built: bool = False,
+        max_store_bytes: Optional[int] = None,
     ) -> None:
         if mode not in OVERLAY_REUSE_MODES:
             raise ConfigurationError(
                 f"unknown overlay reuse mode {mode!r}; expected one of "
                 f"{OVERLAY_REUSE_MODES}"
+            )
+        if max_store_bytes is not None and max_store_bytes <= 0:
+            raise ConfigurationError(
+                f"max_store_bytes must be positive, got {max_store_bytes}"
             )
         self.store_dir = (
             str(store_dir) if store_dir is not None else None
@@ -448,6 +564,7 @@ class SnapshotProvider:
         self.mode = mode
         self.max_memo = max_memo
         self.collect_built = collect_built
+        self.max_store_bytes = max_store_bytes
         self._memo: Dict[str, Tuple[OverlaySnapshot, Dict[str, float]]] = {}
         # Serialized wire entries by address: entries are immutable per
         # address, and re-serializing + re-hashing a whole overlay for
@@ -531,6 +648,7 @@ class SnapshotProvider:
             entry = _entry_payload(spec, config, seed, snapshot, extras)
             if self.store_dir is not None:
                 _write_entry(self.store_dir, address, entry)
+                self._collect_store()
             if self.collect_built:
                 self._built_entries.append(entry)
             self._remember_entry(address, entry)
@@ -581,10 +699,13 @@ class SnapshotProvider:
         if self.store_dir is not None and not snapshot_path(
             self.store_dir, address
         ).exists():
-            store_snapshot_entry(
-                self.store_dir, spec, config, seed, decoded[0], decoded[1]
-            )
+            _write_entry(self.store_dir, address, dict(entry))
+            self._collect_store()
         return True
+
+    def _collect_store(self) -> None:
+        if self.store_dir is not None and self.max_store_bytes is not None:
+            gc_snapshot_store(self.store_dir, self.max_store_bytes)
 
     def entry_for(
         self, spec: TrialSpec, config: ExperimentConfig, root_seed: int
@@ -607,16 +728,14 @@ class SnapshotProvider:
         # after the cheap identity + integrity checks instead of
         # decoding a whole overlay just to re-encode and re-hash it
         # per dispatch (the receiving worker fully validates anyway).
+        path = snapshot_path(self.store_dir, address)
         try:
-            raw = json.loads(
-                snapshot_path(self.store_dir, address).read_text(
-                    encoding="utf-8"
-                )
-            )
-        except (OSError, ValueError):
+            raw = _parse_entry_bytes(path.read_bytes())
+        except (OSError, ValueError, zlib.error):
             return None
         if not _identity_matches(raw, spec, config, seed):
             return None
+        _touch(path)
         self._remember_entry(address, raw)
         return raw
 
@@ -634,6 +753,7 @@ class SnapshotProvider:
             "mode": self.mode,
             "max_memo": self.max_memo,
             "collect_built": self.collect_built,
+            "max_store_bytes": self.max_store_bytes,
         }
 
     def __setstate__(self, state):
@@ -642,6 +762,7 @@ class SnapshotProvider:
             mode=state["mode"],
             max_memo=state["max_memo"],
             collect_built=state["collect_built"],
+            max_store_bytes=state.get("max_store_bytes"),
         )
 
     def __repr__(self) -> str:

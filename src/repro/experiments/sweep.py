@@ -54,6 +54,7 @@ from repro.experiments.scenario_matrix import (
     scenario_names,
     trial_config,
 )
+from repro.experiments.scenarios import DISSEMINATION_CORES
 from repro.experiments.snapshot_store import (
     OVERLAY_REUSE_MODES,
     SnapshotProvider,
@@ -259,6 +260,8 @@ def run_sweep(
     listen: Optional[Tuple[str, int]] = None,
     snapshot_cache: Optional[Union[str, Path]] = None,
     overlay_reuse: str = "trial",
+    core: str = "auto",
+    snapshot_cache_max_bytes: Optional[int] = None,
 ) -> SweepResult:
     """Expand ``grid``, execute every trial, aggregate into a result.
 
@@ -299,14 +302,34 @@ def run_sweep(
             paper's own freeze-once-sweep-fanouts methodology, still
             fully deterministic and backend-independent, but a
             different experiment design than ``"trial"``.
+        core: Dissemination core selection — ``"auto"`` (default)
+            runs the vectorized array core only at populations of
+            :data:`~repro.arraysim.ARRAY_CORE_MIN_NODES` and above,
+            ``"object"`` forces the reference executor everywhere
+            (byte-identical to historical sweeps at any size), and
+            ``"array"`` forces the array core (rejecting policies it
+            cannot express). See ``docs/performance.md``.
+        snapshot_cache_max_bytes: Size cap for the on-disk snapshot
+            store; least-recently-used entries are evicted after each
+            write to keep the directory under the cap. ``None`` means
+            unbounded.
     """
     if overlay_reuse not in OVERLAY_REUSE_MODES:
         raise ConfigurationError(
             f"unknown overlay_reuse {overlay_reuse!r}; expected one of "
             f"{OVERLAY_REUSE_MODES}"
         )
+    if core not in DISSEMINATION_CORES:
+        raise ConfigurationError(
+            f"unknown dissemination core {core!r}; expected one of "
+            f"{DISSEMINATION_CORES}"
+        )
     provider = (
-        SnapshotProvider(store_dir=snapshot_cache, mode=overlay_reuse)
+        SnapshotProvider(
+            store_dir=snapshot_cache,
+            mode=overlay_reuse,
+            max_store_bytes=snapshot_cache_max_bytes,
+        )
         if snapshot_cache is not None or overlay_reuse != "trial"
         else None
     )
@@ -321,11 +344,28 @@ def run_sweep(
     # overlays, and resuming a trial-mode cache into a grid-mode sweep
     # (or vice versa) would silently mix the two designs in one JSON.
     # The default mode keeps the bare fingerprint so pre-existing
-    # caches stay valid.
+    # caches stay valid. The same goes for the dissemination core: a
+    # trial that runs (or could run) on the array core produces
+    # different bytes than the historical object path, so its digest
+    # is tagged — while object-core trials (the default below the
+    # auto threshold) keep the bare fingerprint and stay resumable
+    # from pre-core caches.
     mode_tag = "" if overlay_reuse == "trial" else f"overlay={overlay_reuse}:"
+
+    def _core_tag(spec: TrialSpec) -> str:
+        if core == "array":
+            return "core=array:"
+        if core == "auto":
+            from repro.arraysim import ARRAY_CORE_MIN_NODES
+
+            if spec.num_nodes >= ARRAY_CORE_MIN_NODES:
+                return "core=array:"
+        return ""
+
     digests = (
         {
             spec: mode_tag
+            + _core_tag(spec)
             + config_fingerprint(trial_config(spec, config, root_seed))
             for spec in specs
         }
@@ -364,22 +404,23 @@ def run_sweep(
         for scenario in {spec.scenario for spec in specs}
     }
     if pending:
+        # Legacy call shape: custom SweepBackend implementations
+        # predating the snapshot store / core selection keep working
+        # untouched as long as neither feature is requested — the
+        # optional kwargs are only passed at non-default values.
+        extra_kwargs: Dict[str, Any] = {}
         if provider is not None:
-            backend_obj.run_trials(
-                tuple(pending),
-                config,
-                root_seed,
-                executors,
-                finish,
-                provider=provider,
-            )
-        else:
-            # Legacy call shape: custom SweepBackend implementations
-            # predating the snapshot store keep working untouched as
-            # long as no provider is requested.
-            backend_obj.run_trials(
-                tuple(pending), config, root_seed, executors, finish
-            )
+            extra_kwargs["provider"] = provider
+        if core != "auto":
+            extra_kwargs["core"] = core
+        backend_obj.run_trials(
+            tuple(pending),
+            config,
+            root_seed,
+            executors,
+            finish,
+            **extra_kwargs,
+        )
 
     ordered = tuple(results[index] for index in range(len(specs)))
     return SweepResult(root_seed=root_seed, trials=ordered)

@@ -51,6 +51,7 @@ import subprocess
 import sys
 import threading
 import time
+import zlib
 from abc import ABC, abstractmethod
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import asdict
@@ -83,6 +84,7 @@ from repro.experiments.sweep_results import (
 
 __all__ = [
     "BACKEND_NAMES",
+    "FRAME_DEFLATE_FLAG",
     "FrameDecoder",
     "InlineBackend",
     "ProcessPoolBackend",
@@ -118,6 +120,14 @@ _HEADER = struct.Struct(">I")
 # A trial message is a few KB; anything near this is protocol garbage
 # (e.g. a stray HTTP client), not a sweep peer.
 MAX_FRAME_BYTES = 8 * 1024 * 1024
+# High bit of the length word tags a zlib-deflated frame body — the
+# version tag of the compressed framing. Capability-negotiated (see
+# the "deflate" hello/trial fields), so plain peers never see it; the
+# real frame length stays far below the flag.
+FRAME_DEFLATE_FLAG = 0x80000000
+# Frames smaller than this ship uncompressed — zlib overhead would
+# beat the savings on tiny control messages.
+_DEFLATE_MIN_BYTES = 512
 _RECV_CHUNK = 65536
 _POLL_SECONDS = 0.2
 
@@ -135,14 +145,29 @@ class SweepWorkerError(RuntimeError):
 # ----------------------------------------------------------------------
 
 
-def encode_frame(message: Mapping[str, Any]) -> bytes:
-    """Serialise one protocol message into a length-prefixed frame."""
+def encode_frame(
+    message: Mapping[str, Any], compress: bool = False
+) -> bytes:
+    """Serialise one protocol message into a length-prefixed frame.
+
+    With ``compress``, bodies big enough to benefit are zlib-deflated
+    and the length word carries :data:`FRAME_DEFLATE_FLAG` — only send
+    compressed frames to peers that advertised the ``deflate``
+    capability; everyone decodes plain frames.
+    """
     body = canonical_json(dict(message)).encode("utf-8")
     if len(body) > MAX_FRAME_BYTES:
         raise ProtocolError(
             f"frame of {len(body)} bytes exceeds the "
             f"{MAX_FRAME_BYTES}-byte limit"
         )
+    if compress and len(body) >= _DEFLATE_MIN_BYTES:
+        deflated = zlib.compress(body, 6)
+        if len(deflated) < len(body):
+            return (
+                _HEADER.pack(len(deflated) | FRAME_DEFLATE_FLAG)
+                + deflated
+            )
     return _HEADER.pack(len(body)) + body
 
 
@@ -162,7 +187,9 @@ class FrameDecoder:
         self._buffer.extend(data)
         messages: List[Dict[str, Any]] = []
         while len(self._buffer) >= _HEADER.size:
-            (length,) = _HEADER.unpack_from(self._buffer)
+            (word,) = _HEADER.unpack_from(self._buffer)
+            deflated = bool(word & FRAME_DEFLATE_FLAG)
+            length = word & ~FRAME_DEFLATE_FLAG
             if length > MAX_FRAME_BYTES:
                 raise ProtocolError(
                     f"incoming frame claims {length} bytes "
@@ -175,6 +202,8 @@ class FrameDecoder:
                 self._buffer[_HEADER.size : _HEADER.size + length]
             )
             del self._buffer[: _HEADER.size + length]
+            if deflated:
+                body = self._inflate(body)
             try:
                 message = json.loads(body.decode("utf-8"))
             except (UnicodeDecodeError, ValueError) as exc:
@@ -186,6 +215,27 @@ class FrameDecoder:
                 )
             messages.append(message)
         return messages
+
+    @staticmethod
+    def _inflate(body: bytes) -> bytes:
+        """Decompress a deflated frame body, bounded against zip bombs:
+        anything expanding past the frame limit (or not a complete
+        zlib stream) is a protocol violation, not an allocation."""
+        inflater = zlib.decompressobj()
+        try:
+            out = inflater.decompress(body, MAX_FRAME_BYTES + 1)
+        except zlib.error as exc:
+            raise ProtocolError(f"undecodable deflated frame: {exc}")
+        if (
+            len(out) > MAX_FRAME_BYTES
+            or not inflater.eof
+            or inflater.unused_data
+        ):
+            raise ProtocolError(
+                "deflated frame is truncated, has trailing bytes, or "
+                f"expands past the {MAX_FRAME_BYTES}-byte limit"
+            )
+        return out
 
 
 def decode_frames(data: bytes) -> List[Dict[str, Any]]:
@@ -279,11 +329,17 @@ def run_timed_trial(
     root_seed: int,
     executor: Callable,
     provider: Optional[SnapshotProvider] = None,
+    core: str = "auto",
 ) -> Tuple[TrialResult, float]:
     """Run one trial with the given executor, timing it where it runs."""
     started = time.perf_counter()
     result = execute_trial(
-        executor, spec, config, root_seed, overlay_provider=provider
+        executor,
+        spec,
+        config,
+        root_seed,
+        overlay_provider=provider,
+        core=core,
     )
     return result, time.perf_counter() - started
 
@@ -294,6 +350,7 @@ def run_timed_trial_group(
     root_seed: int,
     executors: TrialExecutors,
     provider: Optional[SnapshotProvider],
+    core: str = "auto",
 ) -> List[Tuple[int, TrialResult, float]]:
     """Run trials sharing one overlay sequentially in this process.
 
@@ -305,7 +362,12 @@ def run_timed_trial_group(
     out: List[Tuple[int, TrialResult, float]] = []
     for index, spec in items:
         result, seconds = run_timed_trial(
-            spec, config, root_seed, executors[spec.scenario], provider
+            spec,
+            config,
+            root_seed,
+            executors[spec.scenario],
+            provider,
+            core,
         )
         out.append((index, result, seconds))
     return out
@@ -350,9 +412,11 @@ class SweepBackend(ABC):
     :class:`~repro.experiments.snapshot_store.SnapshotProvider`) is
     passed only when the sweep runs with the overlay snapshot store /
     overlay reuse enabled; backends thread it to the trial executors
-    so warm-ups can be skipped. The engine omits the argument entirely
-    when no provider is configured, so pre-store custom backends keep
-    working unchanged.
+    so warm-ups can be skipped. ``core`` selects the dissemination
+    core (see :func:`repro.experiments.scenarios.resolve_core`) and is
+    likewise passed only when non-default. The engine omits both
+    arguments entirely at their defaults, so pre-existing custom
+    backends keep working unchanged.
     """
 
     name: str = "abstract"
@@ -366,6 +430,7 @@ class SweepBackend(ABC):
         executors: TrialExecutors,
         finish: FinishHook,
         provider: Optional[SnapshotProvider] = None,
+        core: str = "auto",
     ) -> None:
         """Execute every ``(index, spec)`` pair and report via ``finish``."""
 
@@ -389,11 +454,23 @@ class InlineBackend(SweepBackend):
     name = "inline"
 
     def run_trials(
-        self, pending, config, root_seed, executors, finish, provider=None
+        self,
+        pending,
+        config,
+        root_seed,
+        executors,
+        finish,
+        provider=None,
+        core="auto",
     ) -> None:
         for index, spec in pending:
             result, seconds = run_timed_trial(
-                spec, config, root_seed, executors[spec.scenario], provider
+                spec,
+                config,
+                root_seed,
+                executors[spec.scenario],
+                provider,
+                core,
             )
             finish(index, spec, result, seconds)
 
@@ -419,17 +496,26 @@ class ProcessPoolBackend(SweepBackend):
         self.workers = workers
 
     def run_trials(
-        self, pending, config, root_seed, executors, finish, provider=None
+        self,
+        pending,
+        config,
+        root_seed,
+        executors,
+        finish,
+        provider=None,
+        core="auto",
     ) -> None:
         if self.workers == 1 or len(pending) <= 1:
             # A one-wide pool is pure overhead; run inline.
             InlineBackend().run_trials(
-                pending, config, root_seed, executors, finish, provider
+                pending, config, root_seed, executors, finish, provider,
+                core,
             )
             return
         if provider is not None:
             self._run_grouped(
-                pending, config, root_seed, executors, finish, provider
+                pending, config, root_seed, executors, finish, provider,
+                core,
             )
             return
         with ProcessPoolExecutor(
@@ -442,6 +528,8 @@ class ProcessPoolBackend(SweepBackend):
                     config,
                     root_seed,
                     executors[spec.scenario],
+                    None,
+                    core,
                 ): (index, spec)
                 for index, spec in pending
             }
@@ -451,7 +539,8 @@ class ProcessPoolBackend(SweepBackend):
                 finish(index, spec, result, seconds)
 
     def _run_grouped(
-        self, pending, config, root_seed, executors, finish, provider
+        self, pending, config, root_seed, executors, finish, provider,
+        core="auto",
     ) -> None:
         """Overlay-aware dispatch: each shared overlay is built by
         exactly one worker. With ``overlay_reuse="trial"`` every group
@@ -492,6 +581,7 @@ class ProcessPoolBackend(SweepBackend):
                         root_seed,
                         executors_for(group),
                         provider,
+                        core,
                     )
                     for group in groups
                 ]
@@ -518,6 +608,7 @@ class ProcessPoolBackend(SweepBackend):
                         root_seed,
                         executors[spec.scenario],
                         provider,
+                        core,
                     ): (index, spec)
                     for index, spec in phase
                 }
@@ -551,6 +642,7 @@ class _ServerState:
         config: ExperimentConfig,
         root_seed: int,
         provider: Optional[SnapshotProvider] = None,
+        core: str = "auto",
     ) -> None:
         self.jobs: "queue.Queue[Tuple[int, TrialSpec]]" = queue.Queue()
         for item in pending:
@@ -561,9 +653,27 @@ class _ServerState:
         self.config_wire = config_to_wire(config)
         self.root_seed = root_seed
         self.provider = provider
+        self.core = core
+        # Whether any pending trial could resolve to the array
+        # dissemination core: a worker predating core selection would
+        # run such a trial on the object core — silently different
+        # numbers depending on who got the trial — so it must be
+        # turned away at the handshake.
+        self.needs_array_core = core == "array" or (
+            core == "auto" and self._any_array_scale(pending)
+        )
         self.connections_seen = 0
         self.active_handlers = 0
         self.lock = threading.Lock()
+
+    @staticmethod
+    def _any_array_scale(pending: PendingTrials) -> bool:
+        from repro.arraysim import ARRAY_CORE_MIN_NODES
+
+        return any(
+            spec.num_nodes >= ARRAY_CORE_MIN_NODES
+            for _index, spec in pending
+        )
 
 
 class SocketWorkerBackend(SweepBackend):
@@ -739,6 +849,23 @@ class SocketWorkerBackend(SweepBackend):
                     )
                 )
                 return
+            if state.needs_array_core and not hello.get("array_core"):
+                # A core-oblivious worker would run array-core trials
+                # on the object core — different numbers depending on
+                # which worker drew the trial. Turn it away.
+                conn.sendall(
+                    encode_frame(
+                        {
+                            "type": "reject",
+                            "reason": (
+                                "this sweep selects the array "
+                                "dissemination core and needs "
+                                "core-aware workers"
+                            ),
+                        }
+                    )
+                )
+                return
             if (
                 state.provider is not None
                 and state.provider.mode != "trial"
@@ -761,6 +888,9 @@ class SocketWorkerBackend(SweepBackend):
                 )
                 return
             conn.settimeout(None)
+            # Compress frames only toward peers that advertised the
+            # capability; plain workers keep receiving plain frames.
+            deflate = bool(hello.get("deflate"))
             with state.lock:
                 state.active_handlers += 1
             registered = True
@@ -777,6 +907,12 @@ class SocketWorkerBackend(SweepBackend):
                     "spec": spec.to_dict(),
                     "config": state.config_wire,
                 }
+                if state.core != "auto":
+                    message["core"] = state.core
+                if deflate:
+                    # Tells the worker it may deflate its result
+                    # frames back to us.
+                    message["deflate"] = True
                 if state.provider is not None:
                     message["overlay"] = {"mode": state.provider.mode}
                     entry = state.provider.entry_for(
@@ -788,12 +924,12 @@ class SocketWorkerBackend(SweepBackend):
                         message["snapshot_entry"] = entry
                 try:
                     try:
-                        frame = encode_frame(message)
+                        frame = encode_frame(message, compress=deflate)
                     except ProtocolError:
                         # Snapshot too large for a frame: ship the bare
                         # trial; the worker just rebuilds the overlay.
                         message.pop("snapshot_entry", None)
-                        frame = encode_frame(message)
+                        frame = encode_frame(message, compress=deflate)
                     conn.sendall(frame)
                     reply = _recv_message(conn, decoder, inbox)
                 except (OSError, ConnectionError, ProtocolError):
@@ -855,11 +991,18 @@ class SocketWorkerBackend(SweepBackend):
     # -- the collecting main loop --------------------------------------
 
     def run_trials(
-        self, pending, config, root_seed, executors, finish, provider=None
+        self,
+        pending,
+        config,
+        root_seed,
+        executors,
+        finish,
+        provider=None,
+        core="auto",
     ) -> None:
         if not pending:
             return
-        state = _ServerState(pending, config, root_seed, provider)
+        state = _ServerState(pending, config, root_seed, provider, core)
         server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         try:
@@ -1031,7 +1174,13 @@ def run_worker(
         _enable_keepalive(conn)
         conn.sendall(
             encode_frame(
-                {"type": "hello", "format": WIRE_FORMAT, "snapshots": True}
+                {
+                    "type": "hello",
+                    "format": WIRE_FORMAT,
+                    "snapshots": True,
+                    "array_core": True,
+                    "deflate": True,
+                }
             )
         )
         decoder = FrameDecoder()
@@ -1053,6 +1202,11 @@ def run_worker(
             spec = TrialSpec.from_dict(message["spec"])
             config = config_from_wire(message["config"])
             root_seed = int(message["root_seed"])
+            core = str(message.get("core", "auto"))
+            # The server deflates frames to us only after our hello;
+            # symmetrically, deflate replies only when the server
+            # says (per trial) that it decodes them.
+            deflate = bool(message.get("deflate"))
             started = time.perf_counter()
             try:
                 provider = None
@@ -1079,7 +1233,11 @@ def run_worker(
                             root_seed,
                         )
                 result = run_trial(
-                    spec, config, root_seed, overlay_provider=provider
+                    spec,
+                    config,
+                    root_seed,
+                    overlay_provider=provider,
+                    core=core,
                 )
             except Exception as exc:  # deterministic: report, don't retry
                 conn.sendall(
@@ -1104,12 +1262,12 @@ def run_worker(
                 if built:
                     payload["snapshot_entries"] = built
             try:
-                frame = encode_frame(payload)
+                frame = encode_frame(payload, compress=deflate)
             except ProtocolError:
                 # Overlay too large for a frame: still report the
                 # result; siblings will rebuild instead of reusing.
                 payload.pop("snapshot_entries", None)
-                frame = encode_frame(payload)
+                frame = encode_frame(payload, compress=deflate)
             conn.sendall(frame)
             completed += 1
             if progress is not None:

@@ -278,8 +278,8 @@ class TestStoreHardening:
 
     def test_truncated_file_is_a_miss(self, tmp_path):
         spec, config, seed, _snapshot, path = self._stored(tmp_path)
-        text = path.read_text()
-        path.write_text(text[: len(text) // 2])
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])
         assert load_snapshot_entry(tmp_path, spec, config, seed) is None
 
     def test_wrong_shape_is_a_miss(self, tmp_path):
@@ -295,7 +295,9 @@ class TestStoreHardening:
         be served as an overlay — that would be a silently wrong
         experiment, the worst possible cache failure."""
         spec, config, seed, _snapshot, path = self._stored(tmp_path)
-        entry = json.loads(path.read_text())
+        from repro.experiments.snapshot_store import _parse_entry_bytes
+
+        entry = _parse_entry_bytes(path.read_bytes())
         entry["snapshot"]["frozen_at_cycle"] += 1  # sha now stale
         path.write_text(json.dumps(entry))
         assert load_snapshot_entry(tmp_path, spec, config, seed) is None
@@ -321,7 +323,7 @@ class TestStoreHardening:
         ).to_json()
         assert first == reference
         for path in store.glob("overlay_*.json"):
-            path.write_text(path.read_text()[:40])  # truncate them all
+            path.write_bytes(path.read_bytes()[:40])  # truncate them all
         again = run_sweep(
             SMALL_GRID,
             base_config=SMALL_BASE,
@@ -905,3 +907,160 @@ class TestCliSnapshotFlags:
         assert (
             build_parser().parse_args(self.ARGS).overlay_reuse == "trial"
         )
+
+
+# ----------------------------------------------------------------------
+# compressed entries, npz entries, and the size-cap GC (ISSUE 6)
+# ----------------------------------------------------------------------
+
+
+class TestEntryFormats:
+    def _built(self):
+        spec = spec_for(num_nodes=40)
+        config = trial_config(spec, GOLDEN_BASE, 11)
+        seed = child_seed(11, spec.key)
+        snapshot, extras = _build_static_overlay(
+            spec, config, RngRegistry(seed)
+        )
+        return spec, config, seed, snapshot, extras
+
+    def test_new_entries_are_compressed(self, tmp_path):
+        from repro.experiments.snapshot_store import _ENTRY_MAGIC
+
+        spec, config, seed, snapshot, extras = self._built()
+        path = store_snapshot_entry(
+            tmp_path, spec, config, seed, snapshot, extras
+        )
+        assert path.read_bytes().startswith(_ENTRY_MAGIC)
+        loaded = load_snapshot_entry(tmp_path, spec, config, seed)
+        assert loaded is not None and loaded[0] == snapshot
+
+    def test_legacy_plain_json_entries_still_load(self, tmp_path):
+        """Stores written before compression landed are plain JSON;
+        they must keep loading as hits, untouched."""
+        from repro.experiments.snapshot_store import (
+            _entry_payload,
+            snapshot_path as entry_path,
+        )
+        from repro.experiments.sweep_results import canonical_json
+
+        spec, config, seed, snapshot, extras = self._built()
+        entry = _entry_payload(spec, config, seed, snapshot, extras)
+        path = entry_path(
+            tmp_path, snapshot_address(spec, config, seed)
+        )
+        path.write_text(canonical_json(entry) + "\n", encoding="utf-8")
+        loaded = load_snapshot_entry(tmp_path, spec, config, seed)
+        assert loaded is not None and loaded[0] == snapshot
+
+    def test_large_overlays_use_npz_payloads(self):
+        from repro.experiments.snapshot_store import (
+            NPZ_ENTRY_MIN_NODES,
+            _entry_payload,
+        )
+
+        spec, config, seed, snapshot, extras = self._built()
+        small = _entry_payload(spec, config, seed, snapshot, extras)
+        assert "snapshot" in small and "snapshot_npz" not in small
+
+        rng = random.Random(3)
+        n = NPZ_ENTRY_MIN_NODES
+        ids = tuple(range(n))
+        big = snapshot.__class__(
+            kind="randcast",
+            rlinks={i: tuple(rng.sample(ids, 4)) for i in ids},
+            dlinks={},
+            alive_ids=ids,
+            ring_ids={},
+            join_cycles={},
+            frozen_at_cycle=1,
+        )
+        big_spec = spec_for(protocol="randcast", num_nodes=n)
+        big_config = trial_config(
+            big_spec, GOLDEN_BASE.with_overrides(num_nodes=n), 11
+        )
+        entry = _entry_payload(big_spec, big_config, seed, big, {})
+        assert "snapshot_npz" in entry and "snapshot" not in entry
+        from repro.experiments.snapshot_store import _decode_entry
+
+        decoded = _decode_entry(entry, big_spec, big_config, seed)
+        assert decoded is not None
+        assert decoded[0].rlinks == big.rlinks
+        assert decoded[0].alive_ids == big.alive_ids
+
+
+class TestStoreSizeCap:
+    def _fill(self, tmp_path, count):
+        from repro.experiments.snapshot_store import _write_entry
+
+        paths = []
+        for index in range(count):
+            entry = {"format": 1, "blob": "x" * 50_000, "n": index}
+            path = _write_entry(tmp_path, f"{index:04d}", entry)
+            import os
+
+            os.utime(path, (1_000_000 + index, 1_000_000 + index))
+            paths.append(path)
+        return paths
+
+    def test_gc_evicts_oldest_accessed_first(self, tmp_path):
+        from repro.experiments.snapshot_store import gc_snapshot_store
+
+        paths = self._fill(tmp_path, 4)
+        per_entry = paths[0].stat().st_size
+        removed = gc_snapshot_store(tmp_path, per_entry * 2)
+        assert removed == 2
+        assert [p.exists() for p in paths] == [False, False, True, True]
+
+    def test_gc_never_evicts_the_newest_entry(self, tmp_path):
+        from repro.experiments.snapshot_store import gc_snapshot_store
+
+        paths = self._fill(tmp_path, 3)
+        gc_snapshot_store(tmp_path, 1)
+        assert [p.exists() for p in paths] == [False, False, True]
+
+    def test_read_hit_refreshes_eviction_rank(self, tmp_path):
+        from repro.experiments.snapshot_store import gc_snapshot_store
+
+        paths = self._fill(tmp_path, 3)
+        import os
+
+        os.utime(paths[0], None)  # "read" the oldest entry now
+        per_entry = paths[0].stat().st_size
+        gc_snapshot_store(tmp_path, per_entry * 1)
+        surviving = {p.name for p in paths if p.exists()}
+        assert paths[0].name in surviving
+        assert paths[1].name not in surviving
+
+    def test_provider_enforces_cap_after_builds(self, tmp_path):
+        provider = SnapshotProvider(
+            store_dir=tmp_path, max_store_bytes=1
+        )
+        spec_a = spec_for(num_nodes=40)
+        spec_b = spec_for(num_nodes=40, replicate=1)
+        config = trial_config(spec_a, GOLDEN_BASE, 11)
+        for spec in (spec_a, spec_b):
+            provider.acquire(
+                spec,
+                config,
+                11,
+                RngRegistry(child_seed(11, spec.key)),
+                lambda s, c, registry: _build_static_overlay(
+                    s, c, registry
+                ),
+            )
+        # Cap of one byte: only the most recent write may remain.
+        assert len(list(Path(tmp_path).glob("overlay_*.json"))) == 1
+
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SnapshotProvider(max_store_bytes=0)
+
+    def test_cap_survives_pickling(self, tmp_path):
+        import pickle
+
+        provider = SnapshotProvider(
+            store_dir=tmp_path, max_store_bytes=123_456
+        )
+        clone = pickle.loads(pickle.dumps(provider))
+        assert clone.max_store_bytes == 123_456

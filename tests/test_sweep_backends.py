@@ -21,6 +21,7 @@ from repro.experiments.config import ExperimentConfig
 from repro.experiments.scenario_matrix import run_trial, scenario_names
 from repro.experiments.sweep import SweepGrid, execute_jobs, run_sweep
 from repro.experiments.sweep_backends import (
+    FRAME_DEFLATE_FLAG,
     WIRE_FORMAT,
     FrameDecoder,
     InlineBackend,
@@ -123,6 +124,70 @@ class TestWireFormat:
         for bad in ("nohost", ":123", "host:", "host:abc", "host:70000"):
             with pytest.raises(ConfigurationError):
                 parse_endpoint(bad)
+
+
+class TestDeflateFrames:
+    """Capability-negotiated zlib frame compression (ISSUE satellite)."""
+
+    BIG = {"type": "trial", "blob": "x" * 20_000}
+
+    def test_big_frames_compress_and_roundtrip(self):
+        import struct
+
+        frame = encode_frame(self.BIG, compress=True)
+        (word,) = struct.unpack_from(">I", frame)
+        assert word & FRAME_DEFLATE_FLAG
+        assert len(frame) < 20_000
+        assert decode_frames(frame) == [self.BIG]
+
+    def test_small_frames_stay_plain(self):
+        import struct
+
+        frame = encode_frame({"type": "hello"}, compress=True)
+        (word,) = struct.unpack_from(">I", frame)
+        assert not (word & FRAME_DEFLATE_FLAG)
+
+    def test_uncompressed_default_unchanged(self):
+        assert encode_frame(self.BIG) == encode_frame(self.BIG, compress=False)
+        assert decode_frames(encode_frame(self.BIG)) == [self.BIG]
+
+    def test_chunked_feeding_of_compressed_frames(self):
+        messages = [self.BIG, {"type": "shutdown"}]
+        data = b"".join(encode_frame(m, compress=True) for m in messages)
+        decoder = FrameDecoder()
+        decoded = []
+        step = 137
+        for i in range(0, len(data), step):
+            decoded.extend(decoder.feed(data[i : i + step]))
+        assert decoded == messages
+
+    def test_corrupt_deflate_body_rejected(self):
+        import struct
+
+        body = b"\x00definitely-not-zlib"
+        frame = struct.pack(">I", len(body) | FRAME_DEFLATE_FLAG) + body
+        with pytest.raises(ProtocolError, match="deflate"):
+            decode_frames(frame)
+
+    def test_truncated_deflate_stream_rejected(self):
+        import struct
+        import zlib
+
+        body = zlib.compress(b"{}" * 4000)[:-4]  # valid prefix, no eof
+        frame = struct.pack(">I", len(body) | FRAME_DEFLATE_FLAG) + body
+        with pytest.raises(ProtocolError):
+            decode_frames(frame)
+
+    def test_zip_bomb_rejected(self):
+        import struct
+        import zlib
+
+        from repro.experiments.sweep_backends import MAX_FRAME_BYTES
+
+        bomb = zlib.compress(b"\x00" * (MAX_FRAME_BYTES + 1024), 9)
+        frame = struct.pack(">I", len(bomb) | FRAME_DEFLATE_FLAG) + bomb
+        with pytest.raises(ProtocolError, match="expands|limit"):
+            decode_frames(frame)
 
 
 _spec_strategy = st.builds(
@@ -576,12 +641,15 @@ class TestRunWorker:
     def test_worker_runs_trial_and_obeys_shutdown(self):
         def script(conn, recv, outcome):
             hello = recv()
-            # The worker advertises the snapshot-shipping capability so
-            # overlay_reuse="grid" servers can gate on it.
+            # The worker advertises its capabilities so servers can
+            # gate on them: snapshot shipping (overlay_reuse="grid"),
+            # the array dissemination core, and deflated frames.
             assert hello == {
                 "type": "hello",
                 "format": WIRE_FORMAT,
                 "snapshots": True,
+                "array_core": True,
+                "deflate": True,
             }
             conn.sendall(encode_frame(_trial_message(9)))
             reply = recv()
