@@ -131,6 +131,12 @@ def test_sweep_backend_scaling(benchmark):
                 "machine": platform.machine(),
                 "system": platform.system(),
                 "python": platform.python_version(),
+                "caveat": (
+                    "committed numbers come from a 1-CPU dev container, "
+                    "so parallel speedups here are honest ~1x; the "
+                    "BENCH_sweep artifact of the CI sweep-timing job is "
+                    "the authoritative multi-core record"
+                ),
             },
             "workers": workers,
             "inline_seconds": round(serial_seconds, 3),

@@ -216,6 +216,7 @@ def run_sweep(
     overlay_reuse: str = "trial",
     core: str = "auto",
     snapshot_cache_max_bytes: Optional[int] = None,
+    trial_deadline: Optional[float] = None,
     **config_overrides,
 ) -> SweepResult:
     """Run a declarative (protocol × N × fanout × scenario × seed) grid.
@@ -266,6 +267,9 @@ def run_sweep(
     ``listen`` is its bind address). The default keeps the historical
     behaviour: inline at ``workers=1``, a local process pool otherwise.
     Results are byte-identical whichever backend runs them.
+    ``trial_deadline`` (socket backend only) bounds how long a single
+    dispatched trial may sit unanswered on a live worker connection
+    before the worker is dropped and the trial re-dispatched.
 
     ``snapshot_cache`` names a directory for the content-addressed
     overlay snapshot store (see
@@ -426,4 +430,5 @@ def run_sweep(
         overlay_reuse=overlay_reuse,
         core=core,
         snapshot_cache_max_bytes=snapshot_cache_max_bytes,
+        trial_deadline=trial_deadline,
     )

@@ -68,6 +68,7 @@ Scales: tiny, small (default), medium, paper — see
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import List, Optional, Tuple
@@ -489,6 +490,7 @@ def _run_sweep(args) -> None:
         overlay_reuse=args.overlay_reuse,
         core=args.core,
         snapshot_cache_max_bytes=args.snapshot_cache_max_bytes,
+        trial_deadline=args.trial_deadline,
         **run_kwargs,
     )
     text = report.render_sweep(result)
@@ -509,8 +511,90 @@ def _run_sweep_worker(args) -> None:
         max_trials=args.max_trials,
         crash_after=args.crash_after,
         progress=narrate if args.verbose else None,
+        connect_timeout=args.connect_timeout,
     )
     print(f"(worker completed {completed} trials)")
+
+
+def _run_node(args) -> None:
+    import asyncio
+
+    from repro.net.node import NodeConfig, run_node
+    from repro.net.wire import parse_endpoint
+
+    config = NodeConfig(
+        host=args.host,
+        port=args.port,
+        bootstrap=tuple(
+            parse_endpoint(entry) for entry in (args.bootstrap or ())
+        ),
+        protocol=args.protocol,
+        fanout=args.fanout,
+        view_size=args.view_size,
+        shuffle_length=args.shuffle_length,
+        vicinity_size=args.vicinity_size,
+        gossip_length=args.gossip_length,
+        gossip_period=args.gossip_period,
+        ping_period=args.ping_period,
+        ping_timeout=args.ping_timeout,
+        ping_retries=args.ping_retries,
+        ping_backoff=args.ping_backoff,
+        pull_period=args.pull_period,
+        join_retries=args.join_retries,
+        log_dir=args.log_dir,
+        run_for=args.run_for,
+        seed=args.seed,
+        node_id=args.node_id,
+        ring_id=args.ring_id,
+        publish_after=args.publish_after,
+        publish_payload=args.publish_payload,
+    )
+    try:
+        asyncio.run(run_node(config))
+    except KeyboardInterrupt:
+        pass
+
+
+def _run_net_send(args) -> None:
+    from repro.net.wire import parse_endpoint, send_publish
+
+    msg_id = send_publish(
+        parse_endpoint(args.to),
+        args.payload,
+        timeout=args.timeout,
+        retries=args.retries,
+    )
+    print(f"(published {msg_id} via {args.to})")
+
+
+def _run_net_analyze(args) -> None:
+    from repro.net.analyzer import analyze_run, render_net_report
+
+    net_report = analyze_run(
+        args.log_dir,
+        sim_trials=args.sim_trials,
+        sim_seed=args.sim_seed,
+        hops_tolerance=args.hops_tolerance,
+    )
+    _emit(render_net_report(net_report), "net-analyze", args.out)
+    if args.json is not None:
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(
+            json.dumps(net_report.to_dict(), indent=2, sort_keys=True)
+            + "\n",
+            encoding="utf-8",
+        )
+        print(f"(report written to {args.json})")
+    if args.expect_ratio is not None:
+        if net_report.delivery_ratio < args.expect_ratio:
+            raise SystemExit(
+                f"delivery ratio {net_report.delivery_ratio:.3f} below "
+                f"the required {args.expect_ratio:.3f}"
+            )
+        print(
+            f"(delivery ratio {net_report.delivery_ratio:.3f} >= "
+            f"{args.expect_ratio:.3f})"
+        )
 
 
 def _run_demo(args) -> None:
@@ -729,6 +813,15 @@ def build_parser() -> argparse.ArgumentParser:
         "workers from other hosts)",
     )
     sub.add_argument(
+        "--trial-deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="socket backend: drop a connected-but-silent worker that "
+        "holds one trial longer than this and re-dispatch the trial "
+        "(default: 900)",
+    )
+    sub.add_argument(
         "--cache",
         type=Path,
         default=None,
@@ -825,11 +918,265 @@ def build_parser() -> argparse.ArgumentParser:
         "this many completions (simulates a worker crash)",
     )
     sub.add_argument(
+        "--connect-timeout",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="keep retrying a refused connection for this long — "
+        "covers the race where workers start a beat before the "
+        "server is listening (default: 10)",
+    )
+    sub.add_argument(
         "--verbose",
         action="store_true",
         help="narrate per-trial progress",
     )
     sub.set_defaults(func=_run_sweep_worker)
+    sub = subparsers.add_parser(
+        "node",
+        help="run one live asyncio/UDP gossip node",
+        description=(
+            "Run the simulator's protocol stack (CYCLON + VICINITY + "
+            "hybrid dissemination) as one long-lived UDP process. "
+            "Nodes find each other through --bootstrap endpoints, "
+            "keep liveness with ping/pong retry+backoff, and append "
+            "JSONL events to --log-dir for repro net-analyze. See "
+            "docs/live_network.md."
+        ),
+    )
+    sub.add_argument(
+        "--host", default="127.0.0.1", help="bind host (default: 127.0.0.1)"
+    )
+    sub.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="bind UDP port; 0 picks a free one (default: 0)",
+    )
+    sub.add_argument(
+        "--bootstrap",
+        action="append",
+        default=None,
+        metavar="HOST:PORT",
+        help="existing node to join through (repeatable); omit for "
+        "the first node of a cluster",
+    )
+    sub.add_argument(
+        "--protocol",
+        choices=("ringcast", "randcast", "flooding"),
+        default="ringcast",
+        help="dissemination policy (default: ringcast)",
+    )
+    sub.add_argument(
+        "--fanout", type=int, default=3, help="gossip fanout (default: 3)"
+    )
+    sub.add_argument(
+        "--view-size",
+        type=int,
+        default=8,
+        help="CYCLON view capacity (default: 8)",
+    )
+    sub.add_argument(
+        "--shuffle-length",
+        type=int,
+        default=4,
+        help="descriptors shipped per CYCLON shuffle (default: 4)",
+    )
+    sub.add_argument(
+        "--vicinity-size",
+        type=int,
+        default=6,
+        help="VICINITY view capacity (default: 6)",
+    )
+    sub.add_argument(
+        "--gossip-length",
+        type=int,
+        default=4,
+        help="descriptors shipped per VICINITY exchange (default: 4)",
+    )
+    sub.add_argument(
+        "--gossip-period",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="seconds between gossip cycles (default: 0.5)",
+    )
+    sub.add_argument(
+        "--ping-period",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="seconds between liveness probes per peer (default: 2)",
+    )
+    sub.add_argument(
+        "--ping-timeout",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="seconds to wait for a pong before retrying (default: 1)",
+    )
+    sub.add_argument(
+        "--ping-retries",
+        type=int,
+        default=3,
+        help="missed pongs before a peer is declared down (default: 3)",
+    )
+    sub.add_argument(
+        "--ping-backoff",
+        type=float,
+        default=2.0,
+        help="multiplier stretching the wait between ping retries "
+        "(default: 2)",
+    )
+    sub.add_argument(
+        "--pull-period",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="anti-entropy pull interval; 0 disables the pull loop "
+        "(default: 0)",
+    )
+    sub.add_argument(
+        "--join-retries",
+        type=int,
+        default=10,
+        help="bootstrap join attempts before giving up (default: 10)",
+    )
+    sub.add_argument(
+        "--log-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="directory for this node's JSONL event log (default: "
+        "events go to stdout)",
+    )
+    sub.add_argument(
+        "--run-for",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="stop after this many seconds (default: run until killed)",
+    )
+    sub.add_argument(
+        "--seed", type=int, default=None, help="RNG seed (default: OS entropy)"
+    )
+    sub.add_argument(
+        "--node-id",
+        type=int,
+        default=None,
+        help="fixed node ID (default: derived from the seed)",
+    )
+    sub.add_argument(
+        "--ring-id",
+        type=int,
+        default=None,
+        help="fixed ring sequence ID (default: derived from the seed)",
+    )
+    sub.add_argument(
+        "--publish-after",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="originate one message this many seconds after start "
+        "(smoke runs without a separate net-send)",
+    )
+    sub.add_argument(
+        "--publish-payload",
+        default="hello",
+        help="payload for --publish-after (default: hello)",
+    )
+    sub.set_defaults(func=_run_node)
+    sub = subparsers.add_parser(
+        "net-send",
+        help="inject a message into a running live node",
+        description=(
+            "Send a publish datagram to one repro node endpoint and "
+            "wait for the acknowledgement carrying the assigned "
+            "message ID."
+        ),
+    )
+    sub.add_argument(
+        "--to",
+        required=True,
+        metavar="HOST:PORT",
+        help="node endpoint to publish through",
+    )
+    sub.add_argument(
+        "--payload", default="hello", help="message payload (default: hello)"
+    )
+    sub.add_argument(
+        "--timeout",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="seconds to wait for the ack per attempt (default: 2)",
+    )
+    sub.add_argument(
+        "--retries",
+        type=int,
+        default=5,
+        help="publish attempts before giving up (default: 5)",
+    )
+    sub.set_defaults(func=_run_net_send)
+    sub = subparsers.add_parser(
+        "net-analyze",
+        help="delivery/hop/overhead report from live-node logs",
+        description=(
+            "Parse the JSONL logs a cluster of repro node processes "
+            "wrote, compute per-message delivery ratio, hop-count "
+            "distribution and gossip overhead, and compare against a "
+            "matched simulator prediction over the overlay "
+            "reconstructed from the logs."
+        ),
+    )
+    sub.add_argument(
+        "log_dir",
+        type=Path,
+        metavar="LOGDIR",
+        help="directory of node-*.jsonl event logs",
+    )
+    sub.add_argument(
+        "--sim-trials",
+        type=int,
+        default=100,
+        help="simulated disseminations for the prediction (default: 100)",
+    )
+    sub.add_argument(
+        "--sim-seed",
+        type=int,
+        default=1,
+        help="RNG seed of the prediction runs (default: 1)",
+    )
+    sub.add_argument(
+        "--hops-tolerance",
+        type=float,
+        default=2.0,
+        help="max |observed - predicted| mean hops to count as "
+        "matching (default: 2)",
+    )
+    sub.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="also write the full report as JSON here",
+    )
+    sub.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="also write the text report to DIR/net-analyze.txt",
+    )
+    sub.add_argument(
+        "--expect-ratio",
+        type=float,
+        default=None,
+        metavar="RATIO",
+        help="exit non-zero unless every message's delivery ratio "
+        "reaches RATIO (CI gate)",
+    )
+    sub.set_defaults(func=_run_net_analyze)
     sub = subparsers.add_parser(
         "demo", help="60-second RINGCAST vs RANDCAST demonstration"
     )

@@ -1,0 +1,60 @@
+"""Transport-agnostic protocol cores.
+
+The paper's protocols — CYCLON / VICINITY view exchange and the
+RingCast / RandCast / flooding dissemination family with pull recovery
+— are implemented here as pure state machines: every core exposes
+``handle_message(message, ...) -> [(destination, message), ...]`` step
+functions with the RNG injected by the caller and no notion of time,
+sockets, or simulated networks.
+
+Two drivers speak to the same cores:
+
+* the deterministic simulator (:mod:`repro.sim`,
+  :mod:`repro.membership`) delivers messages synchronously inside a
+  cycle and keeps every seed golden byte-identical;
+* the live-network runtime (:mod:`repro.net`) serializes the same
+  messages into UDP datagrams and delivers them whenever they arrive.
+
+One protocol implementation, two substrates — the layering argued for
+by the HCA line of work (see PAPERS.md) and the property that makes
+sim-vs-network cross-validation meaningful.
+"""
+
+from repro.core.cyclon import CyclonCore
+from repro.core.dissemination import Delivery, DisseminationCore
+from repro.core.messages import (
+    GossipMessage,
+    PullRequest,
+    PullResponse,
+    ShuffleRequest,
+    ShuffleResponse,
+    VicinityRequest,
+    VicinityResponse,
+    decode_descriptor,
+    encode_descriptor,
+)
+from repro.core.targets import (
+    flooding_targets,
+    randcast_targets,
+    ringcast_targets,
+)
+from repro.core.vicinity import VicinityCore
+
+__all__ = [
+    "CyclonCore",
+    "Delivery",
+    "DisseminationCore",
+    "GossipMessage",
+    "PullRequest",
+    "PullResponse",
+    "ShuffleRequest",
+    "ShuffleResponse",
+    "VicinityCore",
+    "VicinityRequest",
+    "VicinityResponse",
+    "decode_descriptor",
+    "encode_descriptor",
+    "flooding_targets",
+    "randcast_targets",
+    "ringcast_targets",
+]

@@ -1,0 +1,171 @@
+"""Transport-agnostic CYCLON state machine.
+
+One :class:`CyclonCore` holds one node's partial view and implements
+*enhanced shuffling* (Voulgaris et al. [19]) as pure message handling:
+the driver ages the view (:meth:`begin_cycle`), picks a live partner
+(:meth:`oldest_peer` / :meth:`discard_peer`), opens an exchange with
+:meth:`start_shuffle`, and routes the resulting request/response
+messages through :meth:`handle_message`. The RNG is injected per call;
+the core never touches a clock, a socket, or another node's state.
+
+The cycle simulator (:class:`repro.membership.cyclon.Cyclon`) delivers
+the request and response back-to-back inside one cycle, reproducing the
+seed goldens byte-for-byte; the UDP runtime (:mod:`repro.net`) sends
+the same messages as datagrams and tolerates responses that never
+arrive (:meth:`abort_shuffle`).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.errors import ConfigurationError, ProtocolError
+from repro.core.messages import ShuffleRequest, ShuffleResponse
+from repro.core.views import NodeDescriptor, PartialView
+from repro.sim.node import NodeProfile
+
+__all__ = ["CyclonCore"]
+
+Outgoing = List[Tuple[int, object]]
+
+
+class CyclonCore:
+    """One node's CYCLON protocol state (r-link substrate)."""
+
+    def __init__(
+        self,
+        node_id: int,
+        profile: NodeProfile,
+        view_size: int = 20,
+        shuffle_length: int = 5,
+    ) -> None:
+        if shuffle_length < 1:
+            raise ConfigurationError(
+                f"shuffle_length must be >= 1, got {shuffle_length}"
+            )
+        if shuffle_length > view_size:
+            raise ConfigurationError(
+                f"shuffle_length {shuffle_length} exceeds view size {view_size}"
+            )
+        self.node_id = node_id
+        self.profile = profile
+        self.view = PartialView(owner_id=node_id, capacity=view_size)
+        self.shuffle_length = shuffle_length
+        self.shuffles_initiated = 0
+        self.shuffles_received = 0
+        # Entries shipped to a partner whose response is still in
+        # flight; the merge rule needs them as replacement victims.
+        self._pending: Dict[int, List[int]] = {}
+
+    # ------------------------------------------------------------------
+    # driver hooks
+    # ------------------------------------------------------------------
+
+    def begin_cycle(self) -> None:
+        """Age every view entry by one cycle (shuffle step 1)."""
+        self.view.increment_ages()
+
+    def oldest_peer(self) -> Optional[int]:
+        """The shuffle partner CYCLON would pick now (step 2)."""
+        oldest = self.view.oldest()
+        return None if oldest is None else oldest.node_id
+
+    def discard_peer(self, peer_id: int) -> bool:
+        """Drop a peer found dead; returns whether it was in the view."""
+        self._pending.pop(peer_id, None)
+        return self.view.remove(peer_id)
+
+    def start_shuffle(
+        self, partner_id: int, rng: random.Random
+    ) -> ShuffleRequest:
+        """Open a shuffle with ``partner_id`` (steps 3 of the exchange).
+
+        Ships ``shuffle_length - 1`` random entries plus a fresh
+        self-descriptor; the partner's own entry leaves the view so its
+        slot is recycled for the reply.
+        """
+        to_ship = self.view.random_descriptors(
+            self.shuffle_length - 1, rng, exclude=(partner_id,)
+        )
+        shipped_ids = [d.node_id for d in to_ship]
+        payload = [d.copy() for d in to_ship]
+        payload.append(NodeDescriptor(self.node_id, 0, self.profile))
+        self.view.remove(partner_id)
+        self._pending[partner_id] = shipped_ids
+        return ShuffleRequest(sender=self.node_id, entries=payload)
+
+    def abort_shuffle(self, partner_id: int) -> None:
+        """Forget an in-flight shuffle whose response will never come."""
+        self._pending.pop(partner_id, None)
+
+    def pending_partners(self) -> Tuple[int, ...]:
+        """Partners with a shuffle in flight, awaiting their response.
+
+        ``start_shuffle`` removes the partner's entry from the view, so
+        between request and response the partner is invisible to anyone
+        walking the view. Liveness probing must cover these too: a
+        partner that dies mid-shuffle would otherwise never be probed
+        again and its pending state never reaped.
+        """
+        return tuple(self._pending)
+
+    def handle_message(self, message, rng: random.Random) -> Outgoing:
+        """Advance the protocol by one received message.
+
+        Returns the ``(destination, message)`` pairs to transmit — the
+        answering :class:`ShuffleResponse` for a request, nothing for a
+        response.
+        """
+        if isinstance(message, ShuffleRequest):
+            to_ship = self.view.random_descriptors(self.shuffle_length, rng)
+            shipped_ids = [d.node_id for d in to_ship]
+            reply = [d.copy() for d in to_ship]
+            self._merge(message.entries, shipped_ids)
+            self.shuffles_received += 1
+            return [
+                (
+                    message.sender,
+                    ShuffleResponse(sender=self.node_id, entries=reply),
+                )
+            ]
+        if isinstance(message, ShuffleResponse):
+            shipped_ids = self._pending.pop(message.sender, [])
+            self._merge(message.entries, shipped_ids)
+            self.shuffles_initiated += 1
+            return []
+        raise ProtocolError(
+            f"cyclon core cannot handle {type(message).__name__}"
+        )
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _merge(
+        self,
+        received: Sequence[NodeDescriptor],
+        shipped_ids: List[int],
+    ) -> None:
+        """CYCLON's merge rule: skip self and duplicates, fill empty
+        slots first, then overwrite the slots of shipped entries."""
+        replaceable = list(shipped_ids)
+        for descriptor in received:
+            if descriptor.node_id == self.node_id:
+                continue
+            if self.view.contains(descriptor.node_id):
+                continue
+            if not self.view.is_full:
+                self.view.add(descriptor)
+                continue
+            while replaceable:
+                victim = replaceable.pop()
+                if self.view.remove(victim):
+                    self.view.add(descriptor)
+                    break
+
+    def __repr__(self) -> str:
+        return (
+            f"CyclonCore(node={self.node_id}, view={self.view.size}/"
+            f"{self.view.capacity})"
+        )

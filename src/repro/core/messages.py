@@ -1,0 +1,277 @@
+"""Typed protocol messages shared by every driver.
+
+The cores in :mod:`repro.core` communicate exclusively through these
+value objects: a driver delivers one message to a core's
+``handle_message`` and transmits whatever ``(destination, message)``
+pairs come back. The cycle simulator passes them between objects in
+memory; the UDP runtime (:mod:`repro.net.wire`) serializes the same
+objects into datagrams via :meth:`to_payload` / :func:`message_from_payload`.
+
+Descriptors on the wire optionally carry a transport address so that
+membership gossip doubles as address discovery — exactly how a real
+deployment learns where its overlay neighbors live.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.common.errors import ProtocolError
+from repro.core.views import NodeDescriptor
+from repro.sim.node import NodeProfile
+
+__all__ = [
+    "GossipMessage",
+    "PullRequest",
+    "PullResponse",
+    "ShuffleRequest",
+    "ShuffleResponse",
+    "VicinityRequest",
+    "VicinityResponse",
+    "decode_descriptor",
+    "encode_descriptor",
+    "message_from_payload",
+]
+
+Address = Tuple[str, int]
+
+
+def encode_descriptor(
+    descriptor: NodeDescriptor, addr: Optional[Address] = None
+) -> Dict[str, Any]:
+    """JSON-safe form of a view descriptor (optionally with an address)."""
+    obj: Dict[str, Any] = {
+        "id": descriptor.node_id,
+        "age": descriptor.age,
+        "rings": list(descriptor.profile.ring_ids),
+    }
+    if descriptor.profile.domain is not None:
+        obj["domain"] = descriptor.profile.domain
+    if addr is not None:
+        obj["addr"] = [addr[0], addr[1]]
+    return obj
+
+
+def decode_descriptor(
+    obj: Any,
+) -> Tuple[NodeDescriptor, Optional[Address]]:
+    """Parse a wire descriptor; raises :class:`ProtocolError` on junk."""
+    try:
+        profile = NodeProfile(
+            ring_ids=tuple(int(r) for r in obj["rings"]),
+            domain=obj.get("domain"),
+        )
+        descriptor = NodeDescriptor(int(obj["id"]), int(obj["age"]), profile)
+        addr = obj.get("addr")
+        if addr is not None:
+            addr = (str(addr[0]), int(addr[1]))
+    except (KeyError, IndexError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"malformed descriptor: {obj!r}") from exc
+    return descriptor, addr
+
+
+class _Message:
+    """Shared plumbing: every message knows its wire tag and sender."""
+
+    kind: str = "message"
+    __slots__ = ("sender",)
+
+    def __init__(self, sender: int) -> None:
+        self.sender = sender
+
+    def to_payload(self, addr_of=None) -> Dict[str, Any]:
+        """JSON-safe dict; ``addr_of(node_id)`` annotates descriptors."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(sender={self.sender})"
+
+
+class _DescriptorBatch(_Message):
+    """A message whose body is a batch of view descriptors."""
+
+    __slots__ = ("entries",)
+
+    def __init__(self, sender: int, entries) -> None:
+        super().__init__(sender)
+        self.entries: Tuple[NodeDescriptor, ...] = tuple(entries)
+
+    def to_payload(self, addr_of=None) -> Dict[str, Any]:
+        return {
+            "t": self.kind,
+            "from": self.sender,
+            "entries": _encode_batch(self.entries, addr_of),
+        }
+
+
+def _encode_batch(entries, addr_of) -> List[Dict[str, Any]]:
+    return [
+        encode_descriptor(d, addr_of(d.node_id) if addr_of else None)
+        for d in entries
+    ]
+
+
+def _decode_batch(objs) -> Tuple[List[NodeDescriptor], Dict[int, Address]]:
+    entries: List[NodeDescriptor] = []
+    addrs: Dict[int, Address] = {}
+    for obj in objs:
+        descriptor, addr = decode_descriptor(obj)
+        entries.append(descriptor)
+        if addr is not None:
+            addrs[descriptor.node_id] = addr
+    return entries, addrs
+
+
+class ShuffleRequest(_DescriptorBatch):
+    """CYCLON initiator -> partner: the shipped shuffle entries."""
+
+    kind = "shuffle_request"
+    __slots__ = ()
+
+
+class ShuffleResponse(_DescriptorBatch):
+    """CYCLON partner -> initiator: the answering shuffle entries."""
+
+    kind = "shuffle_response"
+    __slots__ = ()
+
+
+class VicinityRequest(_DescriptorBatch):
+    """VICINITY initiator -> partner: selected entries + the initiator."""
+
+    kind = "vicinity_request"
+    __slots__ = ("initiator",)
+
+    def __init__(self, sender: int, initiator: NodeDescriptor, entries) -> None:
+        super().__init__(sender, entries)
+        self.initiator = initiator
+
+    def to_payload(self, addr_of=None) -> Dict[str, Any]:
+        obj = super().to_payload(addr_of)
+        obj["initiator"] = encode_descriptor(
+            self.initiator, addr_of(self.initiator.node_id) if addr_of else None
+        )
+        return obj
+
+
+class VicinityResponse(_DescriptorBatch):
+    """VICINITY partner -> initiator: entries useful to the initiator."""
+
+    kind = "vicinity_response"
+    __slots__ = ()
+
+
+class GossipMessage(_Message):
+    """One push-dissemination step: a payload at hop ``hop``."""
+
+    kind = "gossip"
+    __slots__ = ("msg_id", "origin", "hop", "payload")
+
+    def __init__(
+        self, sender: int, msg_id: str, origin: int, hop: int, payload: Any
+    ) -> None:
+        super().__init__(sender)
+        self.msg_id = msg_id
+        self.origin = origin
+        self.hop = hop
+        self.payload = payload
+
+    def to_payload(self, addr_of=None) -> Dict[str, Any]:
+        return {
+            "t": self.kind,
+            "from": self.sender,
+            "msg_id": self.msg_id,
+            "origin": self.origin,
+            "hop": self.hop,
+            "payload": self.payload,
+        }
+
+
+class PullRequest(_Message):
+    """Anti-entropy poll: ``known`` is the requester's message digest."""
+
+    kind = "pull_request"
+    __slots__ = ("known",)
+
+    def __init__(self, sender: int, known) -> None:
+        super().__init__(sender)
+        self.known: Tuple[str, ...] = tuple(known)
+
+    def to_payload(self, addr_of=None) -> Dict[str, Any]:
+        return {"t": self.kind, "from": self.sender, "known": list(self.known)}
+
+
+class PullResponse(_Message):
+    """Anti-entropy answer: the ``(msg_id, origin, payload)`` triples
+    the requester was missing."""
+
+    kind = "pull_response"
+    __slots__ = ("messages",)
+
+    def __init__(self, sender: int, messages) -> None:
+        super().__init__(sender)
+        self.messages: Tuple[Tuple[str, int, Any], ...] = tuple(
+            (str(m[0]), int(m[1]), m[2]) for m in messages
+        )
+
+    def to_payload(self, addr_of=None) -> Dict[str, Any]:
+        return {
+            "t": self.kind,
+            "from": self.sender,
+            "messages": [list(m) for m in self.messages],
+        }
+
+
+def message_from_payload(obj: Any):
+    """Rebuild a protocol message from its wire payload.
+
+    Returns ``(message, learned_addrs)`` where ``learned_addrs`` maps
+    node IDs to the transport addresses their descriptors carried.
+    Raises :class:`ProtocolError` for unknown tags or malformed bodies.
+    """
+    if not isinstance(obj, dict):
+        raise ProtocolError(f"wire message must be an object: {obj!r}")
+    kind = obj.get("t")
+    try:
+        sender = int(obj["from"])
+        if kind in (
+            ShuffleRequest.kind,
+            ShuffleResponse.kind,
+            VicinityResponse.kind,
+        ):
+            entries, addrs = _decode_batch(obj["entries"])
+            cls = {
+                ShuffleRequest.kind: ShuffleRequest,
+                ShuffleResponse.kind: ShuffleResponse,
+                VicinityResponse.kind: VicinityResponse,
+            }[kind]
+            return cls(sender, entries), addrs
+        if kind == VicinityRequest.kind:
+            entries, addrs = _decode_batch(obj["entries"])
+            initiator, addr = decode_descriptor(obj["initiator"])
+            if addr is not None:
+                addrs[initiator.node_id] = addr
+            return VicinityRequest(sender, initiator, entries), addrs
+        if kind == GossipMessage.kind:
+            return (
+                GossipMessage(
+                    sender,
+                    str(obj["msg_id"]),
+                    int(obj["origin"]),
+                    int(obj["hop"]),
+                    obj.get("payload"),
+                ),
+                {},
+            )
+        if kind == PullRequest.kind:
+            return (
+                PullRequest(sender, (str(k) for k in obj["known"])),
+                {},
+            )
+        if kind == PullResponse.kind:
+            return PullResponse(sender, obj["messages"]), {}
+    except ProtocolError:
+        raise
+    except (KeyError, IndexError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"malformed {kind!r} message: {obj!r}") from exc
+    raise ProtocolError(f"unknown message kind {kind!r}")

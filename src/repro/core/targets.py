@@ -1,0 +1,78 @@
+"""Pure forwarding-target selection for the dissemination family.
+
+These functions are the entire difference between the paper's three
+dissemination protocols (Fig. 1b, Fig. 2, Fig. 5). They operate on
+plain link sequences, so both the frozen-snapshot policies used by the
+simulator (:mod:`repro.dissemination.policies`) and the live per-node
+state machine (:class:`repro.core.dissemination.DisseminationCore`)
+share one implementation — and one RNG draw sequence, which is what
+keeps the seed goldens byte-identical across drivers.
+
+``sender_id`` is ``None`` when the selecting node is the origin.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+__all__ = [
+    "flooding_targets",
+    "randcast_targets",
+    "ringcast_targets",
+]
+
+
+def flooding_targets(
+    links: Sequence[int], sender_id: Optional[int]
+) -> List[int]:
+    """Deterministic flooding: every outgoing link except the sender."""
+    return [link for link in links if link != sender_id]
+
+
+def randcast_targets(
+    rlinks: Sequence[int],
+    sender_id: Optional[int],
+    fanout: int,
+    rng: random.Random,
+) -> List[int]:
+    """RANDCAST: up to ``fanout`` random r-links, never the sender."""
+    pool = [link for link in rlinks if link != sender_id]
+    if fanout >= len(pool):
+        return pool
+    return rng.sample(pool, fanout)
+
+
+def ringcast_targets(
+    dlinks: Sequence[int],
+    rlinks: Sequence[int],
+    sender_id: Optional[int],
+    fanout: int,
+    rng: random.Random,
+) -> List[int]:
+    """RINGCAST: all d-links first, random r-link fill for the rest.
+
+    Both d-links are always included (unless one is the sender), then
+    the remaining budget of ``fanout - len(d-targets)`` is filled with
+    random r-links, excluding peers already chosen as d-links — the
+    pseudocode's set-union semantics. With ``fanout < 2`` the d-links
+    still win, the behaviour behind the paper's complete disseminations
+    at F=1.
+    """
+    targets: List[int] = []
+    for link in dlinks:
+        if link != sender_id and link not in targets:
+            targets.append(link)
+    budget = fanout - len(targets)
+    if budget > 0:
+        chosen = set(targets)
+        pool = [
+            link
+            for link in rlinks
+            if link != sender_id and link not in chosen
+        ]
+        if budget >= len(pool):
+            targets.extend(pool)
+        else:
+            targets.extend(rng.sample(pool, budget))
+    return targets

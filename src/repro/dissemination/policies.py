@@ -5,6 +5,10 @@ rng)`` and returns the nodes one forwarding step sends to. The shared
 rules of the generic algorithm (paper Fig. 1a) — forward only on first
 receipt, never back to the sender — are split between the executor
 (first-receipt) and the policies (sender exclusion).
+
+The selection logic itself lives in :mod:`repro.core.targets`; each
+policy adapts it to a frozen :class:`OverlaySnapshot`, while the live
+runtime feeds the same functions a node's current views.
 """
 
 from __future__ import annotations
@@ -14,6 +18,11 @@ from abc import ABC, abstractmethod
 from typing import List, Optional
 
 from repro.common.errors import ConfigurationError
+from repro.core.targets import (
+    flooding_targets,
+    randcast_targets,
+    ringcast_targets,
+)
 from repro.dissemination.snapshot import OverlaySnapshot
 
 __all__ = [
@@ -63,9 +72,7 @@ class FloodingPolicy(TargetPolicy):
         fanout: int,
         rng: random.Random,
     ) -> List[int]:
-        return [
-            link for link in snapshot.out_links(node_id) if link != sender_id
-        ]
+        return flooding_targets(snapshot.out_links(node_id), sender_id)
 
 
 class RandCastPolicy(TargetPolicy):
@@ -81,14 +88,9 @@ class RandCastPolicy(TargetPolicy):
         fanout: int,
         rng: random.Random,
     ) -> List[int]:
-        pool = [
-            link
-            for link in snapshot.rlinks.get(node_id, ())
-            if link != sender_id
-        ]
-        if fanout >= len(pool):
-            return pool
-        return rng.sample(pool, fanout)
+        return randcast_targets(
+            snapshot.rlinks.get(node_id, ()), sender_id, fanout, rng
+        )
 
 
 class RingCastPolicy(TargetPolicy):
@@ -118,23 +120,13 @@ class RingCastPolicy(TargetPolicy):
         fanout: int,
         rng: random.Random,
     ) -> List[int]:
-        targets: List[int] = []
-        for link in snapshot.dlinks.get(node_id, ()):
-            if link != sender_id and link not in targets:
-                targets.append(link)
-        budget = fanout - len(targets)
-        if budget > 0:
-            chosen = set(targets)
-            pool = [
-                link
-                for link in snapshot.rlinks.get(node_id, ())
-                if link != sender_id and link not in chosen
-            ]
-            if budget >= len(pool):
-                targets.extend(pool)
-            else:
-                targets.extend(rng.sample(pool, budget))
-        return targets
+        return ringcast_targets(
+            snapshot.dlinks.get(node_id, ()),
+            snapshot.rlinks.get(node_id, ()),
+            sender_id,
+            fanout,
+            rng,
+        )
 
 
 def policy_for_snapshot(snapshot: OverlaySnapshot) -> TargetPolicy:

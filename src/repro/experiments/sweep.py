@@ -262,6 +262,7 @@ def run_sweep(
     overlay_reuse: str = "trial",
     core: str = "auto",
     snapshot_cache_max_bytes: Optional[int] = None,
+    trial_deadline: Optional[float] = None,
 ) -> SweepResult:
     """Expand ``grid``, execute every trial, aggregate into a result.
 
@@ -313,6 +314,10 @@ def run_sweep(
             store; least-recently-used entries are evicted after each
             write to keep the directory under the cap. ``None`` means
             unbounded.
+        trial_deadline: Socket backend only — seconds a dispatched
+            trial may sit unanswered on a live connection before the
+            worker is dropped and the trial re-dispatched. ``None``
+            keeps the backend default.
     """
     if overlay_reuse not in OVERLAY_REUSE_MODES:
         raise ConfigurationError(
@@ -333,7 +338,10 @@ def run_sweep(
         if snapshot_cache is not None or overlay_reuse != "trial"
         else None
     )
-    backend_obj = resolve_backend(backend, workers=workers, listen=listen)
+    backend_obj = resolve_backend(
+        backend, workers=workers, listen=listen,
+        trial_deadline=trial_deadline,
+    )
     config = base_config if base_config is not None else ExperimentConfig()
     specs = grid.expand()
 

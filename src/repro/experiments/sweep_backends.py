@@ -84,6 +84,7 @@ from repro.experiments.sweep_results import (
 
 __all__ = [
     "BACKEND_NAMES",
+    "DEFAULT_TRIAL_DEADLINE",
     "FRAME_DEFLATE_FLAG",
     "FrameDecoder",
     "InlineBackend",
@@ -130,10 +131,24 @@ FRAME_DEFLATE_FLAG = 0x80000000
 _DEFLATE_MIN_BYTES = 512
 _RECV_CHUNK = 65536
 _POLL_SECONDS = 0.2
+# A worker that has held one trial longer than this is considered
+# wedged (deadlocked, swapping, GC-of-doom) even though its TCP
+# connection is alive; the trial is re-dispatched elsewhere. Generous:
+# the largest in-repo sweep trial completes in well under a minute.
+DEFAULT_TRIAL_DEADLINE = 900.0
 
 
 class ProtocolError(RuntimeError):
     """The socket wire format was violated (bad frame, bad message)."""
+
+
+class _TrialStalled(ConnectionError):
+    """A live-but-silent worker blew the per-trial deadline.
+
+    Subclasses :class:`ConnectionError` so the dispatch loop's existing
+    crash handler re-queues the in-flight trial and drops the worker —
+    a stall is a crash that forgot to close the socket.
+    """
 
 
 class SweepWorkerError(RuntimeError):
@@ -696,11 +711,17 @@ class SocketWorkerBackend(SweepBackend):
         max_respawns: Crash-respawn budget for the spawned local
             workers (default ``2 * workers``). Injected
             ``extra_worker_args`` workers are never respawned.
+        trial_deadline: Seconds a single dispatched trial may remain
+            unanswered before the worker is declared stalled, its
+            connection dropped, and the trial re-dispatched — the
+            live-but-stuck counterpart of the crash re-dispatch path.
 
     Workers may join and leave at any time; a worker that disconnects
     with a trial in flight gets that trial re-dispatched to another
-    worker. A worker *reporting a trial exception* aborts the sweep —
-    trials are deterministic, so retrying elsewhere cannot help.
+    worker, and a worker that stays connected but silent past
+    ``trial_deadline`` is treated the same way. A worker *reporting a
+    trial exception* aborts the sweep — trials are deterministic, so
+    retrying elsewhere cannot help.
 
     The bound address is published as :attr:`address` once the server
     is listening (see :meth:`wait_listening`) so external workers and
@@ -716,7 +737,12 @@ class SocketWorkerBackend(SweepBackend):
         extra_worker_args: Sequence[Sequence[str]] = (),
         idle_timeout: float = 120.0,
         max_respawns: Optional[int] = None,
+        trial_deadline: float = DEFAULT_TRIAL_DEADLINE,
     ) -> None:
+        if trial_deadline <= 0:
+            raise ConfigurationError(
+                f"trial_deadline must be > 0, got {trial_deadline}"
+            )
         if workers < 0:
             raise ConfigurationError(
                 f"workers must be >= 0, got {workers}"
@@ -740,6 +766,7 @@ class SocketWorkerBackend(SweepBackend):
         self.max_respawns = (
             max_respawns if max_respawns is not None else 2 * workers
         )
+        self.trial_deadline = trial_deadline
         self.address: Optional[Tuple[str, int]] = None
         self._listening = threading.Event()
 
@@ -887,6 +914,10 @@ class SocketWorkerBackend(SweepBackend):
                     )
                 )
                 return
+            # Blocking (no-timeout) sends — large snapshot frames to a
+            # slow-draining worker must not be clipped by the receive
+            # poll interval. Receives go through _await_reply, which
+            # narrows the timeout while it waits.
             conn.settimeout(None)
             # Compress frames only toward peers that advertised the
             # capability; plain workers keep receiving plain frames.
@@ -931,9 +962,9 @@ class SocketWorkerBackend(SweepBackend):
                         message.pop("snapshot_entry", None)
                         frame = encode_frame(message, compress=deflate)
                     conn.sendall(frame)
-                    reply = _recv_message(conn, decoder, inbox)
+                    reply = self._await_reply(conn, decoder, inbox, state)
                 except (OSError, ConnectionError, ProtocolError):
-                    state.jobs.put(job)  # crashed mid-trial: re-dispatch
+                    state.jobs.put(job)  # crashed/stalled: re-dispatch
                     return
                 if (
                     reply.get("type") == "result"
@@ -987,6 +1018,48 @@ class SocketWorkerBackend(SweepBackend):
                 conn.close()
             except OSError:
                 pass
+
+    def _await_reply(
+        self,
+        conn: socket.socket,
+        decoder: FrameDecoder,
+        inbox: List[Dict[str, Any]],
+        state: _ServerState,
+    ) -> Dict[str, Any]:
+        """Wait for the in-flight trial's reply, with a deadline.
+
+        A plain blocking ``recv`` here once let a live-but-stuck worker
+        stall the sweep forever: TCP keepalive only detects *vanished*
+        peers, not connected processes that stopped computing. Polling
+        with a ``time.monotonic`` deadline converts that stall into
+        :class:`_TrialStalled`, which the caller's crash handler turns
+        into a re-dispatch. Also honours ``state.stop`` so shutdown is
+        not held up by a silent worker.
+        """
+        deadline = time.monotonic() + self.trial_deadline
+        conn.settimeout(_POLL_SECONDS)
+        try:
+            while not inbox:
+                if state.stop.is_set():
+                    raise _TrialStalled(
+                        "sweep is stopping with a trial in flight"
+                    )
+                if time.monotonic() > deadline:
+                    raise _TrialStalled(
+                        f"worker held a trial past the "
+                        f"{self.trial_deadline:.0f}s deadline; "
+                        "re-dispatching"
+                    )
+                try:
+                    data = conn.recv(_RECV_CHUNK)
+                except socket.timeout:
+                    continue  # poll tick: re-check stop + deadline
+                if not data:
+                    raise ConnectionError("peer closed the connection")
+                inbox.extend(decoder.feed(data))
+            return inbox.pop(0)
+        finally:
+            conn.settimeout(None)
 
     # -- the collecting main loop --------------------------------------
 
@@ -1133,11 +1206,36 @@ class SocketWorkerBackend(SweepBackend):
 # ----------------------------------------------------------------------
 
 
+def _connect_with_retry(
+    endpoint: Tuple[str, int], connect_timeout: float
+) -> socket.socket:
+    """Connect to the sweep server, retrying refused connections.
+
+    Workers are routinely started alongside (or fractionally before)
+    the server — an orchestration script, a CI job matrix — and a
+    one-shot ``ConnectionRefusedError`` in that startup race used to
+    kill the worker outright. Retry with bounded exponential backoff
+    for up to ``connect_timeout`` seconds; other socket errors (bad
+    host, unreachable network) still fail immediately.
+    """
+    delay = 0.2
+    deadline = time.monotonic() + connect_timeout
+    while True:
+        try:
+            return socket.create_connection(endpoint)
+        except ConnectionRefusedError:
+            if time.monotonic() + delay > deadline:
+                raise
+            time.sleep(delay)
+            delay = min(delay * 2.0, 2.0)
+
+
 def run_worker(
     connect: Union[str, Tuple[str, int]],
     max_trials: Optional[int] = None,
     crash_after: Optional[int] = None,
     progress: Optional[Callable[[str, float], None]] = None,
+    connect_timeout: float = 10.0,
 ) -> int:
     """Serve one sweep as a worker: connect, run trials, report results.
 
@@ -1146,7 +1244,9 @@ def run_worker(
     gracefully after that many results (capacity-limited hosts);
     ``crash_after`` hard-exits the process upon *receiving* the next
     trial after that many completions — a test hook that simulates a
-    worker dying with a trial in flight.
+    worker dying with a trial in flight. ``connect_timeout`` bounds
+    the retry window for a server that is not listening *yet*
+    (startup race); see :func:`_connect_with_retry`.
 
     Scenarios are resolved by name in this process
     (:func:`~repro.experiments.scenario_matrix.run_trial`), so custom
@@ -1167,7 +1267,7 @@ def run_worker(
     # sibling trials dispatched to this worker reuse the in-memory
     # overlay even when the server never ships one.
     providers: Dict[str, SnapshotProvider] = {}
-    with socket.create_connection(endpoint) as conn:
+    with _connect_with_retry(endpoint, connect_timeout) as conn:
         # Symmetric to the server side: if the server host vanishes
         # without a FIN, exit within ~a minute instead of holding the
         # process in recv for the kernel-default hours.
@@ -1285,13 +1385,14 @@ def resolve_backend(
     backend: Union[str, SweepBackend, None] = None,
     workers: int = 1,
     listen: Optional[Tuple[str, int]] = None,
+    trial_deadline: Optional[float] = None,
 ) -> SweepBackend:
     """Turn a backend name (or ``None`` for the historical default)
     into a configured :class:`SweepBackend` instance.
 
     ``None`` preserves the pre-backend behaviour: inline at
-    ``workers=1``, a local process pool otherwise. ``listen`` only
-    applies to the socket backend.
+    ``workers=1``, a local process pool otherwise. ``listen`` and
+    ``trial_deadline`` only apply to the socket backend.
     """
     if isinstance(backend, SweepBackend):
         return backend
@@ -1305,6 +1406,11 @@ def resolve_backend(
         return SocketWorkerBackend(
             workers=workers,
             listen=listen if listen is not None else ("127.0.0.1", 0),
+            trial_deadline=(
+                trial_deadline
+                if trial_deadline is not None
+                else DEFAULT_TRIAL_DEADLINE
+            ),
         )
     raise ConfigurationError(
         f"unknown sweep backend {backend!r}; expected one of "

@@ -19,6 +19,12 @@ out-degree ``cyc`` and tightly concentrated in-degrees; a joining
 node's in-degree climbs by ~1 per cycle until it reaches the network
 average after about ``cyc`` cycles — the dynamics behind the paper's
 Figure 13 discussion.
+
+The protocol itself lives in :class:`repro.core.cyclon.CyclonCore`;
+this class is the cycle-driver adapter, responsible only for partner
+liveness (via the simulated :class:`~repro.sim.network.Network`),
+synchronous request/response delivery, and traffic accounting. The
+UDP runtime drives the *same* core over real datagrams.
 """
 
 from __future__ import annotations
@@ -26,11 +32,12 @@ from __future__ import annotations
 import random
 from typing import List, Tuple
 
-from repro.common.errors import ConfigurationError
+from repro.core.cyclon import CyclonCore
+from repro.core.messages import ShuffleRequest, ShuffleResponse
 from repro.membership.peer_sampling import PeerSamplingService
 from repro.membership.views import NodeDescriptor, PartialView
 from repro.sim.network import Network
-from repro.sim.node import Node
+from repro.sim.node import Node, NodeProfile
 from repro.sim.protocol import GossipProtocol
 
 __all__ = ["Cyclon"]
@@ -47,20 +54,40 @@ class Cyclon(GossipProtocol, PeerSamplingService):
         view_size: int = 20,
         shuffle_length: int = 5,
     ) -> None:
-        if shuffle_length < 1:
-            raise ConfigurationError(
-                f"shuffle_length must be >= 1, got {shuffle_length}"
-            )
-        if shuffle_length > view_size:
-            raise ConfigurationError(
-                f"shuffle_length {shuffle_length} exceeds view size {view_size}"
-            )
-        self.node_id = node.node_id
-        self.profile = node.profile
-        self.view = PartialView(owner_id=node.node_id, capacity=view_size)
-        self.shuffle_length = shuffle_length
-        self.shuffles_initiated = 0
-        self.shuffles_received = 0
+        self.core = CyclonCore(
+            node.node_id,
+            node.profile,
+            view_size=view_size,
+            shuffle_length=shuffle_length,
+        )
+
+    # ------------------------------------------------------------------
+    # core delegation (the attributes tests and callers rely on)
+    # ------------------------------------------------------------------
+
+    @property
+    def node_id(self) -> int:
+        return self.core.node_id
+
+    @property
+    def profile(self) -> NodeProfile:
+        return self.core.profile
+
+    @property
+    def view(self) -> PartialView:
+        return self.core.view
+
+    @property
+    def shuffle_length(self) -> int:
+        return self.core.shuffle_length
+
+    @property
+    def shuffles_initiated(self) -> int:
+        return self.core.shuffles_initiated
+
+    @property
+    def shuffles_received(self) -> int:
+        return self.core.shuffles_received
 
     # ------------------------------------------------------------------
     # GossipProtocol interface
@@ -70,34 +97,28 @@ class Cyclon(GossipProtocol, PeerSamplingService):
         self, node: Node, network: Network, rng: random.Random
     ) -> None:
         """Run one shuffle as initiator (steps 1–5 above)."""
-        self.view.increment_ages()
+        core = self.core
+        core.begin_cycle()
         partner_id = self._select_alive_partner(network)
         if partner_id is None:
             return
         partner_node = network.node(partner_id)
         partner: Cyclon = partner_node.protocol(self.name)  # type: ignore[assignment]
 
-        to_ship = self.view.random_descriptors(
-            self.shuffle_length - 1, rng, exclude=(partner_id,)
-        )
-        shipped_ids = [d.node_id for d in to_ship]
-        payload = [d.copy() for d in to_ship]
-        payload.append(
-            NodeDescriptor(self.node_id, 0, self.profile)
-        )
-        # Q's entry leaves the view: its slot is recycled for the reply.
-        self.view.remove(partner_id)
-
-        network.record_gossip(len(payload))
+        request = core.start_shuffle(partner_id, rng)
+        network.record_gossip(len(request.entries))
         node.messages_sent += 1
-        reply = partner.handle_shuffle(payload, self.node_id, rng)
+        reply = partner.handle_shuffle(
+            list(request.entries), self.node_id, rng
+        )
         network.record_gossip(len(reply))
         partner_node.messages_sent += 1
         node.messages_received += 1
         partner_node.messages_received += 1
 
-        self._merge(reply, shipped_ids)
-        self.shuffles_initiated += 1
+        core.handle_message(
+            ShuffleResponse(sender=partner_id, entries=reply), rng
+        )
 
     def handle_shuffle(
         self,
@@ -106,12 +127,11 @@ class Cyclon(GossipProtocol, PeerSamplingService):
         rng: random.Random,
     ) -> List[NodeDescriptor]:
         """Responder side: answer with random entries, then merge."""
-        to_ship = self.view.random_descriptors(self.shuffle_length, rng)
-        shipped_ids = [d.node_id for d in to_ship]
-        reply = [d.copy() for d in to_ship]
-        self._merge(received, shipped_ids)
-        self.shuffles_received += 1
-        return reply
+        outgoing = self.core.handle_message(
+            ShuffleRequest(sender=initiator_id, entries=received), rng
+        )
+        (_, response), = outgoing
+        return list(response.entries)
 
     def neighbor_ids(self) -> Tuple[int, ...]:
         """Current r-links (the view's entry IDs)."""
@@ -136,33 +156,15 @@ class Cyclon(GossipProtocol, PeerSamplingService):
 
     def _select_alive_partner(self, network: Network) -> int | None:
         """The oldest alive view entry; dead entries are pruned on contact."""
-        while self.view.size > 0:
-            oldest = self.view.oldest()
+        core = self.core
+        while core.view.size > 0:
+            oldest = core.oldest_peer()
             assert oldest is not None
-            if network.is_alive(oldest.node_id):
-                return oldest.node_id
-            self.view.remove(oldest.node_id)
+            if network.is_alive(oldest):
+                return oldest
+            core.discard_peer(oldest)
             network.record_failed_contact()
         return None
-
-    def _merge(
-        self, received: List[NodeDescriptor], shipped_ids: List[int]
-    ) -> None:
-        """CYCLON's merge rule (step 5 in the module docstring)."""
-        replaceable = list(shipped_ids)
-        for descriptor in received:
-            if descriptor.node_id == self.node_id:
-                continue
-            if self.view.contains(descriptor.node_id):
-                continue
-            if not self.view.is_full:
-                self.view.add(descriptor)
-                continue
-            while replaceable:
-                victim = replaceable.pop()
-                if self.view.remove(victim):
-                    self.view.add(descriptor)
-                    break
 
     def __repr__(self) -> str:
         return (

@@ -20,6 +20,11 @@ The protocol follows the two-layered design of the VICINITY paper:
 Feeding on CYCLON gives every node a constant stream of fresh random
 candidates, which is what lets an empty view converge to the global
 ring within tens of cycles (validated in ``tests/test_vicinity.py``).
+
+The protocol itself lives in :class:`repro.core.vicinity.VicinityCore`;
+this class is the cycle-driver adapter handling partner liveness,
+synchronous delivery and traffic accounting, while the UDP runtime
+drives the same core over real datagrams.
 """
 
 from __future__ import annotations
@@ -27,10 +32,12 @@ from __future__ import annotations
 import random
 from typing import List, Optional, Tuple
 
+from repro.core.messages import VicinityRequest, VicinityResponse
+from repro.core.vicinity import VicinityCore
 from repro.membership.cyclon import Cyclon
-from repro.membership.views import NodeDescriptor, PartialView, merge_unique
+from repro.membership.views import NodeDescriptor, PartialView
 from repro.sim.network import Network
-from repro.sim.node import Node
+from repro.sim.node import Node, NodeProfile
 from repro.sim.protocol import GossipProtocol
 
 __all__ = ["Vicinity"]
@@ -50,16 +57,49 @@ class Vicinity(GossipProtocol):
         cyclon: Optional[Cyclon] = None,
         name: Optional[str] = None,
     ) -> None:
-        self.node_id = node.node_id
-        self.profile = node.profile
-        self.proximity = proximity
-        self.view = PartialView(owner_id=node.node_id, capacity=view_size)
-        self.gossip_length = gossip_length
+        self.core = VicinityCore(
+            node.node_id,
+            node.profile,
+            proximity,
+            view_size=view_size,
+            gossip_length=gossip_length,
+            cyclon=None if cyclon is None else cyclon.core,
+        )
         self.cyclon = cyclon
         if name is not None:
             self.name = name
-        self.exchanges_initiated = 0
-        self.exchanges_received = 0
+
+    # ------------------------------------------------------------------
+    # core delegation (the attributes tests and callers rely on)
+    # ------------------------------------------------------------------
+
+    @property
+    def node_id(self) -> int:
+        return self.core.node_id
+
+    @property
+    def profile(self) -> NodeProfile:
+        return self.core.profile
+
+    @property
+    def proximity(self):
+        return self.core.proximity
+
+    @property
+    def view(self) -> PartialView:
+        return self.core.view
+
+    @property
+    def gossip_length(self) -> int:
+        return self.core.gossip_length
+
+    @property
+    def exchanges_initiated(self) -> int:
+        return self.core.exchanges_initiated
+
+    @property
+    def exchanges_received(self) -> int:
+        return self.core.exchanges_received
 
     # ------------------------------------------------------------------
     # GossipProtocol interface
@@ -69,24 +109,28 @@ class Vicinity(GossipProtocol):
         self, node: Node, network: Network, rng: random.Random
     ) -> None:
         """Run one proximity exchange as initiator."""
-        self.view.increment_ages()
+        core = self.core
+        core.begin_cycle()
         partner_id = self._select_alive_partner(network, rng)
         if partner_id is None:
             return
         partner_node = network.node(partner_id)
         partner: Vicinity = partner_node.protocol(self.name)  # type: ignore[assignment]
 
-        payload = self._entries_for(partner.profile, exclude_id=partner_id)
-        network.record_gossip(len(payload))
+        request = core.start_exchange(partner_id, partner.profile)
+        network.record_gossip(len(request.entries))
         node.messages_sent += 1
-        reply = partner.handle_exchange(payload, self._self_descriptor())
+        reply = partner.handle_exchange(
+            list(request.entries), request.initiator
+        )
         network.record_gossip(len(reply))
         partner_node.messages_sent += 1
         node.messages_received += 1
         partner_node.messages_received += 1
 
-        self._merge(reply)
-        self.exchanges_initiated += 1
+        core.handle_message(
+            VicinityResponse(sender=partner_id, entries=reply)
+        )
 
     def handle_exchange(
         self,
@@ -95,12 +139,15 @@ class Vicinity(GossipProtocol):
     ) -> List[NodeDescriptor]:
         """Responder side: reply with entries useful to the initiator,
         then merge what was received (including the initiator itself)."""
-        reply = self._entries_for(
-            initiator.profile, exclude_id=initiator.node_id
+        outgoing = self.core.handle_message(
+            VicinityRequest(
+                sender=initiator.node_id,
+                initiator=initiator,
+                entries=received,
+            )
         )
-        self._merge(received + [initiator])
-        self.exchanges_received += 1
-        return reply
+        (_, response), = outgoing
+        return list(response.entries)
 
     def neighbor_ids(self) -> Tuple[int, ...]:
         """Current proximity view entry IDs."""
@@ -117,76 +164,40 @@ class Vicinity(GossipProtocol):
         joined); a single known peer fills both roles, matching a
         two-node ring.
         """
-        return self.proximity.ring_neighbors(
-            self.profile, self.view.descriptors()
-        )
+        return self.core.ring_neighbors()
 
     def closest_ids(self, count: int) -> List[int]:
         """The ``count`` view entries closest to self (for Harary d-links)."""
-        chosen = self.proximity.select(
-            self.profile, self.view.descriptors(), count
-        )
-        return [d.node_id for d in chosen]
+        return self.core.closest_ids(count)
 
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
 
-    def _self_descriptor(self) -> NodeDescriptor:
-        return NodeDescriptor(self.node_id, 0, self.profile)
-
-    def _candidates(self) -> List[NodeDescriptor]:
-        """Own view ∪ CYCLON view (the two-layer feed), deduplicated."""
-        batches = [self.view.descriptors()]
-        if self.cyclon is not None:
-            batches.append(self.cyclon.view.descriptors())
-        return merge_unique(batches, exclude_id=self.node_id)
-
     def _entries_for(
-        self, target_profile, exclude_id: int
+        self, target_profile: NodeProfile, exclude_id: int
     ) -> List[NodeDescriptor]:
-        """The shipped payload: candidates closest to the target."""
-        pool = [
-            d for d in self._candidates() if d.node_id != exclude_id
-        ]
-        pool.append(self._self_descriptor())
-        chosen = self.proximity.select(
-            target_profile, pool, self.gossip_length
-        )
-        return [d.copy() for d in chosen]
-
-    def _merge(self, received: List[NodeDescriptor]) -> None:
-        """View selection: keep the ``vic`` candidates closest to self."""
-        batches = [self.view.descriptors(), received]
-        if self.cyclon is not None:
-            batches.append(self.cyclon.view.descriptors())
-        pool = merge_unique(batches, exclude_id=self.node_id)
-        chosen = self.proximity.select(
-            self.profile, pool, self.view.capacity
-        )
-        self.view.clear()
-        for descriptor in chosen:
-            self.view.add(descriptor)
+        return self.core._entries_for(target_profile, exclude_id)
 
     def _select_alive_partner(
         self, network: Network, rng: random.Random
     ) -> Optional[int]:
         """Oldest alive view entry, else a random alive CYCLON neighbor."""
-        while self.view.size > 0:
-            oldest = self.view.oldest()
+        core = self.core
+        while core.view.size > 0:
+            oldest = core.oldest_peer()
             assert oldest is not None
-            if network.is_alive(oldest.node_id):
-                return oldest.node_id
-            self.view.remove(oldest.node_id)
+            if network.is_alive(oldest):
+                return oldest
+            core.discard_peer(oldest)
             network.record_failed_contact()
-        if self.cyclon is not None:
-            candidates = [
-                node_id
-                for node_id in self.cyclon.view.ids()
-                if network.is_alive(node_id)
-            ]
-            if candidates:
-                return rng.choice(candidates)
+        candidates = [
+            node_id
+            for node_id in core.fallback_candidates()
+            if network.is_alive(node_id)
+        ]
+        if candidates:
+            return rng.choice(candidates)
         return None
 
     def __repr__(self) -> str:

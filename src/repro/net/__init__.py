@@ -1,0 +1,29 @@
+"""Live-network runtime: the protocol cores over real UDP sockets.
+
+Where :mod:`repro.sim` drives the cores with synchronous cycles, this
+package runs them as asyncio UDP processes (``repro node``): a datagram
+listener loop, periodic gossip and ping loops, ping/pong peer liveness
+with configurable retry/backoff, and a JSONL event log per node. The
+companion analyzer (``repro net-analyze``,
+:mod:`repro.net.analyzer`) computes delivery ratio, hop-count
+distribution and message overhead from the logs of a real run and
+compares them against a matched simulator prediction — sim predicts,
+network confirms.
+
+See ``docs/live_network.md`` for lifecycle, wire format and tuning.
+"""
+
+from repro.net.analyzer import NetRunReport, analyze_run, render_net_report
+from repro.net.node import GossipNode, NodeConfig
+from repro.net.wire import AddressBook, decode_datagram, encode_datagram
+
+__all__ = [
+    "AddressBook",
+    "GossipNode",
+    "NetRunReport",
+    "NodeConfig",
+    "analyze_run",
+    "decode_datagram",
+    "encode_datagram",
+    "render_net_report",
+]

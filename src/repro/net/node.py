@@ -1,0 +1,620 @@
+"""Asyncio/UDP gossip node: the protocol cores on a real socket.
+
+One :class:`GossipNode` process runs the same
+:class:`~repro.core.cyclon.CyclonCore`,
+:class:`~repro.core.vicinity.VicinityCore` and
+:class:`~repro.core.dissemination.DisseminationCore` the simulator
+drives, but over UDP datagrams and wall-clock time:
+
+* a **datagram listener** decodes incoming messages, learns peer
+  addresses from the descriptors they carry, and routes each message to
+  its core; whatever the core returns is sent out;
+* a **gossip loop** initiates one CYCLON shuffle and one VICINITY
+  exchange per period (the live analogue of a simulator cycle) and
+  appends a ``views`` event to the log;
+* a **ping loop** probes every view peer; a peer that misses
+  ``ping_retries`` pongs (with exponential backoff between retries) is
+  declared dead and discarded from both views — the live analogue of
+  the simulator's on-contact liveness oracle;
+* an optional **pull loop** anti-entropy polls a random neighbor, the
+  §5 recovery mechanism.
+
+Every significant transition is appended to a JSONL event log that
+:mod:`repro.net.analyzer` later turns into delivery/hop/overhead
+metrics. Nodes join by sending ``join`` to one or more bootstrap
+endpoints and are seeded from the ``welcome`` reply.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import random
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.common.errors import ProtocolError
+from repro.core.cyclon import CyclonCore
+from repro.core.dissemination import DisseminationCore
+from repro.core.messages import (
+    GossipMessage,
+    PullRequest,
+    PullResponse,
+    ShuffleRequest,
+    ShuffleResponse,
+    VicinityRequest,
+    VicinityResponse,
+    decode_descriptor,
+    encode_descriptor,
+    message_from_payload,
+)
+from repro.core.vicinity import VicinityCore
+from repro.core.views import NodeDescriptor
+from repro.membership.ring_ids import RingProximity
+from repro.net.wire import AddressBook, decode_datagram, encode_datagram
+from repro.sim.node import RING_ID_SPACE, NodeProfile
+
+__all__ = ["GossipNode", "NodeConfig", "run_node"]
+
+Address = Tuple[str, int]
+
+
+@dataclass
+class NodeConfig:
+    """Tunables of one live node (see ``docs/live_network.md``)."""
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    bootstrap: Tuple[Address, ...] = ()
+    protocol: str = "ringcast"
+    fanout: int = 3
+    view_size: int = 8
+    shuffle_length: int = 4
+    vicinity_size: int = 6
+    gossip_length: int = 4
+    gossip_period: float = 0.5
+    ping_period: float = 2.0
+    ping_timeout: float = 1.0
+    ping_retries: int = 3
+    ping_backoff: float = 2.0
+    pull_period: float = 0.0
+    join_retries: int = 10
+    log_dir: Optional[Path] = None
+    run_for: Optional[float] = None
+    seed: Optional[int] = None
+    node_id: Optional[int] = None
+    ring_id: Optional[int] = None
+    publish_after: Optional[float] = None
+    publish_payload: Any = "hello"
+
+
+@dataclass
+class _PingProbe:
+    """One in-flight liveness probe."""
+
+    attempts: int
+    deadline: float
+
+
+class _NodeProtocol(asyncio.DatagramProtocol):
+    """Thin asyncio glue: forwards datagrams to the node object."""
+
+    def __init__(self, node: "GossipNode") -> None:
+        self.node = node
+
+    def connection_made(self, transport) -> None:  # pragma: no cover
+        pass
+
+    def datagram_received(self, data: bytes, addr: Address) -> None:
+        self.node.datagram_received(data, addr)
+
+
+class GossipNode:
+    """One live gossip process (CYCLON + VICINITY + dissemination)."""
+
+    def __init__(self, config: NodeConfig) -> None:
+        self.config = config
+        rng = random.Random(config.seed)
+        self.node_id = (
+            config.node_id
+            if config.node_id is not None
+            else rng.getrandbits(48) | 1
+        )
+        ring_id = (
+            config.ring_id
+            if config.ring_id is not None
+            else rng.randrange(RING_ID_SPACE)
+        )
+        self.profile = NodeProfile(ring_ids=(ring_id,))
+        self.rng = rng
+        self.cyclon = CyclonCore(
+            self.node_id,
+            self.profile,
+            view_size=config.view_size,
+            shuffle_length=config.shuffle_length,
+        )
+        self.vicinity = VicinityCore(
+            self.node_id,
+            self.profile,
+            RingProximity(ring_index=0),
+            view_size=config.vicinity_size,
+            gossip_length=config.gossip_length,
+            cyclon=self.cyclon,
+        )
+        self.dissemination = DisseminationCore(
+            self.node_id, protocol=config.protocol, fanout=config.fanout
+        )
+        self.addrs = AddressBook()
+        self.counters: Dict[str, int] = {}
+        self.cycle = 0
+        self.transport: Optional[asyncio.DatagramTransport] = None
+        self.local_addr: Optional[Address] = None
+        self._probes: Dict[int, _PingProbe] = {}
+        self._last_ping: Dict[int, float] = {}
+        self._welcomed = False
+        self._publish_seq = 0
+        self._log_file = None
+        self._tasks: List[asyncio.Task] = []
+        self._stopped = asyncio.Event()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> Address:
+        """Bind the socket, open the log, launch the periodic loops."""
+        loop = asyncio.get_running_loop()
+        self.transport, _ = await loop.create_datagram_endpoint(
+            lambda: _NodeProtocol(self),
+            local_addr=(self.config.host, self.config.port),
+        )
+        sock = self.transport.get_extra_info("sockname")
+        self.local_addr = (self.config.host, sock[1])
+        if self.config.log_dir is not None:
+            self.config.log_dir.mkdir(parents=True, exist_ok=True)
+            path = self.config.log_dir / f"node-{self.node_id:012x}.jsonl"
+            self._log_file = open(path, "w", encoding="utf-8")
+        self.log(
+            "start",
+            addr=list(self.local_addr),
+            ring_id=self.profile.ring_id,
+            protocol=self.config.protocol,
+            fanout=self.config.fanout,
+            view_size=self.config.view_size,
+            vicinity_size=self.config.vicinity_size,
+        )
+        self._tasks.append(asyncio.ensure_future(self._gossip_loop()))
+        self._tasks.append(asyncio.ensure_future(self._ping_loop()))
+        if self.config.pull_period > 0:
+            self._tasks.append(asyncio.ensure_future(self._pull_loop()))
+        if self.config.bootstrap:
+            self._tasks.append(asyncio.ensure_future(self._join_loop()))
+        if self.config.publish_after is not None:
+            self._tasks.append(asyncio.ensure_future(self._publish_later()))
+        if self.config.run_for is not None:
+            self._tasks.append(asyncio.ensure_future(self._stop_later()))
+        return self.local_addr
+
+    async def run(self) -> None:
+        """Block until the node is stopped (``run_for`` or external)."""
+        await self._stopped.wait()
+        await self.shutdown()
+
+    async def shutdown(self) -> None:
+        """Cancel the loops, flush the log, close the socket."""
+        self._stopped.set()
+        for task in self._tasks:
+            task.cancel()
+        for task in self._tasks:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._tasks.clear()
+        self.log("stop", counters=dict(sorted(self.counters.items())))
+        if self.transport is not None:
+            self.transport.close()
+            self.transport = None
+        if self._log_file is not None:
+            self._log_file.close()
+            self._log_file = None
+
+    def request_stop(self) -> None:
+        self._stopped.set()
+
+    # ------------------------------------------------------------------
+    # event log
+    # ------------------------------------------------------------------
+
+    def log(self, event: str, **fields: Any) -> None:
+        record = {"ts": time.time(), "node": self.node_id, "event": event}
+        record.update(fields)
+        line = json.dumps(record, separators=(",", ":"), sort_keys=True)
+        if self._log_file is not None:
+            self._log_file.write(line + "\n")
+            self._log_file.flush()
+        else:
+            sys.stdout.write(line + "\n")
+            sys.stdout.flush()
+
+    def _count(self, key: str) -> None:
+        self.counters[key] = self.counters.get(key, 0) + 1
+
+    # ------------------------------------------------------------------
+    # sending
+    # ------------------------------------------------------------------
+
+    def _send_obj(self, obj: Dict[str, Any], addr: Address) -> None:
+        assert self.transport is not None
+        self.transport.sendto(encode_datagram(obj), addr)
+        self._count(f"sent.{obj['t']}")
+
+    def send_message(self, peer_id: int, message) -> bool:
+        """Serialize one core message to ``peer_id``; False if no addr."""
+        addr = self.addrs.get(peer_id)
+        if addr is None:
+            self._count("drops.no_addr")
+            return False
+        self._send_obj(message.to_payload(addr_of=self._addr_of), addr)
+        return True
+
+    def _addr_of(self, node_id: int) -> Optional[Address]:
+        if node_id == self.node_id:
+            return self.local_addr
+        return self.addrs.get(node_id)
+
+    def _send_outgoing(self, outgoing) -> List[int]:
+        delivered_to = []
+        for peer_id, message in outgoing:
+            if self.send_message(peer_id, message):
+                delivered_to.append(peer_id)
+        return delivered_to
+
+    # ------------------------------------------------------------------
+    # links (the dissemination core is fed the *current* overlay)
+    # ------------------------------------------------------------------
+
+    def current_rlinks(self) -> Tuple[int, ...]:
+        return self.cyclon.view.ids()
+
+    def current_dlinks(self) -> Tuple[int, ...]:
+        links: List[int] = []
+        for link in self.vicinity.ring_neighbors():
+            if link is not None and link not in links:
+                links.append(link)
+        return tuple(links)
+
+    # ------------------------------------------------------------------
+    # receive path
+    # ------------------------------------------------------------------
+
+    def datagram_received(self, data: bytes, addr: Address) -> None:
+        try:
+            obj = decode_datagram(data)
+        except ProtocolError:
+            self._count("drops.undecodable")
+            return
+        kind = obj["t"]
+        self._count(f"recv.{kind}")
+        try:
+            if kind == "join":
+                self._on_join(obj, addr)
+            elif kind == "welcome":
+                self._on_welcome(obj)
+            elif kind == "ping":
+                self._send_obj(
+                    {"t": "pong", "from": self.node_id, "nonce": obj.get("nonce")},
+                    addr,
+                )
+            elif kind == "pong":
+                self._on_pong(obj)
+            elif kind == "publish":
+                msg_id = self.publish(obj.get("payload"))
+                self._send_obj(
+                    {"t": "publish_ack", "from": self.node_id, "msg_id": msg_id},
+                    addr,
+                )
+            elif kind == "publish_ack":
+                pass
+            else:
+                self._on_protocol_message(obj, addr)
+        except ProtocolError:
+            self._count("drops.malformed")
+
+    def _on_protocol_message(self, obj: Dict[str, Any], addr: Address) -> None:
+        message, learned = message_from_payload(obj)
+        self.addrs.learn_all(learned)
+        # The datagram's source address is ground truth for its sender.
+        self.addrs.learn(message.sender, addr)
+
+        if isinstance(message, (ShuffleRequest, ShuffleResponse)):
+            outgoing = self.cyclon.handle_message(message, self.rng)
+            self._send_outgoing(outgoing)
+        elif isinstance(message, (VicinityRequest, VicinityResponse)):
+            outgoing = self.vicinity.handle_message(message)
+            self._send_outgoing(outgoing)
+        elif isinstance(
+            message, (GossipMessage, PullRequest, PullResponse)
+        ):
+            deliveries, outgoing = self.dissemination.handle_message(
+                message,
+                self.current_rlinks(),
+                self.current_dlinks(),
+                self.rng,
+            )
+            for delivery in deliveries:
+                self.log(
+                    "deliver",
+                    msg_id=delivery.msg_id,
+                    origin=delivery.origin,
+                    hop=delivery.hop,
+                    via=delivery.via,
+                )
+            sent_to = self._send_outgoing(outgoing)
+            if isinstance(message, GossipMessage) and sent_to:
+                self.log(
+                    "forward",
+                    msg_id=message.msg_id,
+                    hop=message.hop + 1,
+                    targets=sent_to,
+                )
+        else:  # pragma: no cover - message_from_payload is exhaustive
+            raise ProtocolError(f"unroutable message {obj['t']!r}")
+
+    # ------------------------------------------------------------------
+    # bootstrap handshake
+    # ------------------------------------------------------------------
+
+    def _self_descriptor_payload(self) -> Dict[str, Any]:
+        descriptor = NodeDescriptor(self.node_id, 0, self.profile)
+        return encode_descriptor(descriptor, self.local_addr)
+
+    def _absorb(self, descriptor: NodeDescriptor, addr: Optional[Address]) -> None:
+        """Seed the CYCLON view with a bootstrap-learned descriptor."""
+        if addr is not None:
+            self.addrs.learn(descriptor.node_id, addr)
+        if descriptor.node_id == self.node_id:
+            return
+        if self.cyclon.view.contains(descriptor.node_id):
+            return
+        if self.cyclon.view.is_full:
+            return
+        self.cyclon.view.add(descriptor.copy())
+
+    def _on_join(self, obj: Dict[str, Any], addr: Address) -> None:
+        descriptor, desc_addr = decode_descriptor(obj["desc"])
+        self._absorb(descriptor, desc_addr or addr)
+        peers = [self._self_descriptor_payload()]
+        for entry in self.cyclon.view.descriptors():
+            peers.append(
+                encode_descriptor(entry, self.addrs.get(entry.node_id))
+            )
+        self._send_obj(
+            {"t": "welcome", "from": self.node_id, "peers": peers}, addr
+        )
+        self.log("join_seen", peer=descriptor.node_id)
+
+    def _on_welcome(self, obj: Dict[str, Any]) -> None:
+        for entry in obj.get("peers", ()):
+            descriptor, addr = decode_descriptor(entry)
+            self._absorb(descriptor, addr)
+        if not self._welcomed:
+            self._welcomed = True
+            self.log("welcome", view=list(self.cyclon.view.ids()))
+
+    async def _join_loop(self) -> None:
+        """Send ``join`` to every bootstrap, with bounded backoff."""
+        delay = self.config.gossip_period
+        for attempt in range(self.config.join_retries):
+            if self._welcomed or self._stopped.is_set():
+                return
+            for addr in self.config.bootstrap:
+                if addr == self.local_addr:
+                    continue
+                self._send_obj(
+                    {
+                        "t": "join",
+                        "from": self.node_id,
+                        "desc": self._self_descriptor_payload(),
+                    },
+                    addr,
+                )
+            await asyncio.sleep(delay)
+            delay = min(delay * 2, 5.0)
+        if not self._welcomed:
+            self.log("join_timeout", bootstrap=[list(a) for a in self.config.bootstrap])
+
+    # ------------------------------------------------------------------
+    # periodic gossip
+    # ------------------------------------------------------------------
+
+    async def _gossip_loop(self) -> None:
+        while not self._stopped.is_set():
+            await asyncio.sleep(self.config.gossip_period)
+            self.gossip_once()
+
+    def gossip_once(self) -> None:
+        """One live 'cycle': a CYCLON shuffle + a VICINITY exchange."""
+        self.cycle += 1
+        self._cyclon_round()
+        self._vicinity_round()
+        self.log(
+            "views",
+            cycle=self.cycle,
+            rlinks=list(self.current_rlinks()),
+            dlinks=list(self.current_dlinks()),
+            vic=list(self.vicinity.view.ids()),
+        )
+
+    def _cyclon_round(self) -> None:
+        core = self.cyclon
+        core.begin_cycle()
+        while True:
+            partner = core.oldest_peer()
+            if partner is None:
+                return
+            if partner in self.addrs:
+                break
+            # An entry whose address never arrived is uncontactable.
+            core.discard_peer(partner)
+            self._count("drops.partner_no_addr")
+        request = core.start_shuffle(partner, self.rng)
+        self.send_message(partner, request)
+
+    def _vicinity_round(self) -> None:
+        core = self.vicinity
+        core.begin_cycle()
+        partner = core.oldest_peer()
+        if partner is None or partner not in self.addrs:
+            candidates = [
+                peer
+                for peer in core.fallback_candidates()
+                if peer in self.addrs
+            ]
+            if not candidates:
+                return
+            partner = self.rng.choice(candidates)
+        profile = core.peer_profile(partner)
+        if profile is None:
+            return
+        request = core.start_exchange(partner, profile)
+        self.send_message(partner, request)
+
+    # ------------------------------------------------------------------
+    # liveness (ping/pong with retry + backoff)
+    # ------------------------------------------------------------------
+
+    def _ping_targets(self) -> List[int]:
+        # In-flight shuffle partners are NOT in the view (CYCLON removes
+        # the partner's entry on start_shuffle), yet they are exactly the
+        # peers whose death would strand pending state — probe them too.
+        targets = list(self.cyclon.view.ids())
+        for peer in self.cyclon.pending_partners():
+            if peer not in targets:
+                targets.append(peer)
+        for peer in self.vicinity.view.ids():
+            if peer not in targets:
+                targets.append(peer)
+        return targets
+
+    async def _ping_loop(self) -> None:
+        interval = max(
+            0.05, min(self.config.ping_period, self.config.ping_timeout) / 2
+        )
+        while not self._stopped.is_set():
+            await asyncio.sleep(interval)
+            self.ping_tick(time.monotonic())
+
+    def ping_tick(self, now: float) -> None:
+        """Issue due probes, retry or declare overdue ones."""
+        for peer in self._ping_targets():
+            if peer in self._probes:
+                continue
+            last = self._last_ping.get(peer, 0.0)
+            if now - last >= self.config.ping_period:
+                self._send_ping(peer, now)
+        for peer, probe in list(self._probes.items()):
+            if now < probe.deadline:
+                continue
+            if probe.attempts < self.config.ping_retries:
+                self._retry_ping(peer, probe, now)
+            else:
+                del self._probes[peer]
+                self._peer_down(peer)
+
+    def _send_ping(self, peer: int, now: float) -> None:
+        addr = self.addrs.get(peer)
+        if addr is None:
+            return
+        self._last_ping[peer] = now
+        self._probes[peer] = _PingProbe(
+            attempts=1, deadline=now + self.config.ping_timeout
+        )
+        self._send_obj({"t": "ping", "from": self.node_id, "nonce": peer}, addr)
+
+    def _retry_ping(self, peer: int, probe: _PingProbe, now: float) -> None:
+        addr = self.addrs.get(peer)
+        if addr is None:
+            del self._probes[peer]
+            return
+        probe.attempts += 1
+        # Exponential backoff: each retry waits ping_backoff× longer.
+        wait = self.config.ping_timeout * (
+            self.config.ping_backoff ** (probe.attempts - 1)
+        )
+        probe.deadline = now + wait
+        self._count("ping.retries")
+        self._send_obj({"t": "ping", "from": self.node_id, "nonce": peer}, addr)
+
+    def _on_pong(self, obj: Dict[str, Any]) -> None:
+        peer = int(obj["from"])
+        self._probes.pop(peer, None)
+
+    def _peer_down(self, peer: int) -> None:
+        """A peer exhausted its retries: drop it everywhere."""
+        self.cyclon.abort_shuffle(peer)
+        self.cyclon.discard_peer(peer)
+        self.vicinity.discard_peer(peer)
+        self.addrs.forget(peer)
+        self._last_ping.pop(peer, None)
+        self._count("ping.peer_down")
+        self.log("peer_down", peer=peer)
+
+    # ------------------------------------------------------------------
+    # dissemination
+    # ------------------------------------------------------------------
+
+    def publish(self, payload: Any) -> str:
+        """Originate a message; returns its ID."""
+        self._publish_seq += 1
+        msg_id = f"{self.node_id:012x}-{self._publish_seq}"
+        outgoing = self.dissemination.publish(
+            msg_id,
+            payload,
+            self.current_rlinks(),
+            self.current_dlinks(),
+            self.rng,
+        )
+        self.log("publish", msg_id=msg_id, payload=payload)
+        self.log("deliver", msg_id=msg_id, origin=self.node_id, hop=0, via="publish")
+        sent_to = self._send_outgoing(outgoing)
+        if sent_to:
+            self.log("forward", msg_id=msg_id, hop=1, targets=sent_to)
+        return msg_id
+
+    async def _pull_loop(self) -> None:
+        while not self._stopped.is_set():
+            await asyncio.sleep(self.config.pull_period)
+            peers = [p for p in self.current_rlinks() if p in self.addrs]
+            if not peers:
+                continue
+            peer = self.rng.choice(peers)
+            self.send_message(peer, self.dissemination.make_poll())
+
+    async def _publish_later(self) -> None:
+        assert self.config.publish_after is not None
+        await asyncio.sleep(self.config.publish_after)
+        if not self._stopped.is_set():
+            self.publish(self.config.publish_payload)
+
+    async def _stop_later(self) -> None:
+        assert self.config.run_for is not None
+        await asyncio.sleep(self.config.run_for)
+        self.request_stop()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"GossipNode(id={self.node_id:#x}, addr={self.local_addr}, "
+            f"cycle={self.cycle})"
+        )
+
+
+async def run_node(config: NodeConfig) -> GossipNode:
+    """Start one node and run it to completion (the CLI entry point)."""
+    node = GossipNode(config)
+    await node.start()
+    await node.run()
+    return node

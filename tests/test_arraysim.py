@@ -30,6 +30,7 @@ from hypothesis import strategies as st
 
 import repro.arraysim
 from repro.arraysim import (
+    ARRAY_CORE_MIN_NODES,
     ArrayOverlay,
     SnapshotCodecError,
     decode_snapshot,
@@ -357,6 +358,69 @@ class TestCoreSelection:
         with pytest.raises(ConfigurationError):
             resolve_core("simd", snapshot, RingCastPolicy())
         assert "simd" not in DISSEMINATION_CORES
+
+
+def boundary_snapshot(num_alive: int, dead: int = 0) -> OverlaySnapshot:
+    """A synthetic ring overlay sized to probe the real ``auto``
+    threshold without paying for a 50k-node warm-up. Dead nodes (the
+    highest IDs) keep their links in the tables but are absent from
+    ``alive_ids`` — exactly what freezing a churned overlay produces."""
+    total = num_alive + dead
+    rlinks = {}
+    dlinks = {}
+    for i in range(total):
+        rlinks[i] = ((i + 1) % total, (i + 7) % total, (i + 131) % total)
+        dlinks[i] = ((i + 1) % total, (i - 1) % total)
+    return OverlaySnapshot(
+        kind="ringcast",
+        rlinks=rlinks,
+        dlinks=dlinks,
+        alive_ids=tuple(range(num_alive)),
+    )
+
+
+class TestAutoThresholdBoundary:
+    """The ``auto`` core switch at exactly ARRAY_CORE_MIN_NODES alive
+    nodes — the real constant, not a monkeypatched stand-in."""
+
+    def test_one_below_threshold_stays_object(self):
+        snapshot = boundary_snapshot(ARRAY_CORE_MIN_NODES - 1)
+        assert resolve_core("auto", snapshot, RingCastPolicy()) == "object"
+
+    def test_exactly_at_threshold_goes_array(self):
+        snapshot = boundary_snapshot(ARRAY_CORE_MIN_NODES)
+        assert resolve_core("auto", snapshot, RingCastPolicy()) == "array"
+
+    def test_threshold_counts_alive_nodes_not_table_rows(self):
+        # 500 dead nodes inflate the link tables past the threshold,
+        # but population is ALIVE nodes: the switch must not trip early.
+        below = boundary_snapshot(ARRAY_CORE_MIN_NODES - 1, dead=500)
+        assert below.population == ARRAY_CORE_MIN_NODES - 1
+        assert resolve_core("auto", below, RingCastPolicy()) == "object"
+        at = boundary_snapshot(ARRAY_CORE_MIN_NODES, dead=500)
+        assert resolve_core("auto", at, RingCastPolicy()) == "array"
+
+    def test_forced_cores_ignore_the_threshold(self):
+        snapshot = boundary_snapshot(ARRAY_CORE_MIN_NODES - 1)
+        assert resolve_core("array", snapshot, RingCastPolicy()) == "array"
+        snapshot = boundary_snapshot(ARRAY_CORE_MIN_NODES)
+        assert resolve_core("object", snapshot, RingCastPolicy()) == "object"
+
+    def test_cores_agree_exactly_at_the_boundary(self):
+        # Crossing the threshold changes the engine, so it must not
+        # change the numbers: both cores consume one random.Random
+        # stream identically on the first snapshot that auto-selects
+        # the array core.
+        snapshot = boundary_snapshot(ARRAY_CORE_MIN_NODES, dead=97)
+        policy = policy_for_snapshot(snapshot)
+        reference = object_disseminate(
+            snapshot, policy, 3, 12345, random.Random(42)
+        )
+        mirrored = array_disseminate(
+            snapshot, policy, 3, 12345, random.Random(42)
+        )
+        assert mirrored == reference
+        assert reference.notified == snapshot.population
 
 
 SMALL_GRID = SweepGrid(

@@ -1,0 +1,209 @@
+"""Tests for the per-node dissemination state machine and its targets.
+
+:class:`~repro.core.dissemination.DisseminationCore` is the live-node
+half of the paper's generic dissemination algorithm; the simulator's
+frozen-snapshot policies delegate to the same target functions in
+:mod:`repro.core.targets`. Here we pin the node-local contracts: first
+receipt delivers, duplicates are dropped silently, forwards carry
+``hop+1`` and exclude the sender, pull polls answer exactly the
+requester's missing messages, and pull recoveries deliver with
+``hop=None``.
+"""
+
+import random
+
+import pytest
+
+from repro.common.errors import ConfigurationError, ProtocolError
+from repro.core.dissemination import DisseminationCore
+from repro.core.messages import GossipMessage, PullRequest, PullResponse
+from repro.core.targets import (
+    flooding_targets,
+    randcast_targets,
+    ringcast_targets,
+)
+
+RLINKS = (11, 12, 13, 14, 15)
+DLINKS = (21, 22)
+
+
+def gossip(msg_id="m-1", sender=50, origin=60, hop=2, payload="p"):
+    return GossipMessage(
+        sender=sender, msg_id=msg_id, origin=origin, hop=hop, payload=payload
+    )
+
+
+class TestTargets:
+    def test_flooding_excludes_sender_only(self):
+        assert flooding_targets((1, 2, 3), sender_id=2) == [1, 3]
+        assert flooding_targets((1, 2, 3), sender_id=None) == [1, 2, 3]
+
+    def test_randcast_small_pool_returned_whole(self):
+        rng = random.Random(1)
+        assert randcast_targets((1, 2), None, 5, rng) == [1, 2]
+        assert randcast_targets((1, 2), 2, 5, rng) == [1]
+
+    def test_randcast_samples_without_sender(self):
+        rng = random.Random(1)
+        chosen = randcast_targets(RLINKS, 12, 3, rng)
+        assert len(chosen) == 3
+        assert 12 not in chosen
+        assert set(chosen) <= set(RLINKS)
+
+    def test_ringcast_dlinks_always_win(self):
+        # fanout=1 < |d-links|: both d-links still go out (paper F=1).
+        rng = random.Random(1)
+        assert ringcast_targets(DLINKS, RLINKS, None, 1, rng) == [21, 22]
+
+    def test_ringcast_fills_budget_from_rlinks(self):
+        rng = random.Random(1)
+        chosen = ringcast_targets(DLINKS, RLINKS, None, 4, rng)
+        assert chosen[:2] == [21, 22]
+        assert len(chosen) == 4
+        assert set(chosen[2:]) <= set(RLINKS)
+
+    def test_ringcast_excludes_sender_and_duplicates(self):
+        rng = random.Random(1)
+        chosen = ringcast_targets((21, 21, 22), (21, 22, 31), 22, 5, rng)
+        assert chosen == [21, 31]
+
+
+class TestPublish:
+    def test_publish_delivers_locally_and_forwards_hop_one(self):
+        core = DisseminationCore(1, protocol="flooding")
+        outgoing = core.publish("m-1", "hi", RLINKS, DLINKS, random.Random(1))
+        assert core.seen["m-1"] == 0
+        assert core.store["m-1"] == (1, "hi")
+        destinations = [dest for dest, _ in outgoing]
+        assert destinations == list(DLINKS) + list(RLINKS)
+        for _, message in outgoing:
+            assert message.hop == 1
+            assert message.origin == 1
+            assert message.sender == 1
+
+    def test_double_publish_rejected(self):
+        core = DisseminationCore(1)
+        core.publish("m-1", "hi", RLINKS, DLINKS, random.Random(1))
+        with pytest.raises(ProtocolError, match="already published"):
+            core.publish("m-1", "hi again", RLINKS, DLINKS, random.Random(1))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DisseminationCore(1, protocol="smoke-signals")
+        with pytest.raises(ConfigurationError):
+            DisseminationCore(1, fanout=-1)
+
+
+class TestReceive:
+    def test_first_receipt_delivers_and_forwards(self):
+        core = DisseminationCore(1, protocol="flooding")
+        deliveries, outgoing = core.handle_message(
+            gossip(), RLINKS, DLINKS, random.Random(1)
+        )
+        (delivery,) = deliveries
+        assert delivery.msg_id == "m-1"
+        assert delivery.hop == 2
+        assert delivery.via == "push"
+        for _, message in outgoing:
+            assert message.hop == 3  # my forwards are one hop further
+            assert message.sender == 1  # re-stamped, not relayed
+            assert message.origin == 60
+
+    def test_duplicate_dropped_silently(self):
+        core = DisseminationCore(1, protocol="flooding")
+        core.handle_message(gossip(), RLINKS, DLINKS, random.Random(1))
+        deliveries, outgoing = core.handle_message(
+            gossip(sender=99, hop=7), RLINKS, DLINKS, random.Random(1)
+        )
+        assert deliveries == [] and outgoing == []
+        assert core.seen["m-1"] == 2  # first receipt's hop stands
+
+    def test_forwards_exclude_the_sender(self):
+        core = DisseminationCore(1, protocol="flooding")
+        _, outgoing = core.handle_message(
+            gossip(sender=11), RLINKS, DLINKS, random.Random(1)
+        )
+        assert 11 not in [dest for dest, _ in outgoing]
+
+    def test_unroutable_message_rejected(self):
+        core = DisseminationCore(1)
+        with pytest.raises(ProtocolError):
+            core.handle_message("junk", RLINKS, DLINKS, random.Random(1))
+
+
+class TestPullRecovery:
+    def test_poll_advertises_everything_seen(self):
+        core = DisseminationCore(1)
+        core.publish("m-1", "a", (), (), random.Random(1))
+        core.handle_message(gossip(msg_id="m-2"), (), (), random.Random(1))
+        assert set(core.make_poll().known) == {"m-1", "m-2"}
+
+    def test_pull_request_answered_with_missing_only(self):
+        core = DisseminationCore(1)
+        core.publish("m-1", "a", (), (), random.Random(1))
+        core.handle_message(
+            gossip(msg_id="m-2", payload="b"), (), (), random.Random(1)
+        )
+        _, outgoing = core.handle_message(
+            PullRequest(sender=7, known=("m-2",)),
+            RLINKS,
+            DLINKS,
+            random.Random(1),
+        )
+        ((dest, response),) = outgoing
+        assert dest == 7
+        assert isinstance(response, PullResponse)
+        assert response.messages == (("m-1", 1, "a"),)
+
+    def test_pull_response_delivers_unseen_with_hopless_marker(self):
+        core = DisseminationCore(1)
+        core.handle_message(gossip(msg_id="m-2"), (), (), random.Random(1))
+        deliveries, outgoing = core.handle_message(
+            PullResponse(sender=7, messages=[("m-2", 60, "p"), ("m-3", 61, "q")]),
+            RLINKS,
+            DLINKS,
+            random.Random(1),
+        )
+        assert outgoing == []
+        (delivery,) = deliveries  # m-2 already seen; only m-3 delivers
+        assert delivery.msg_id == "m-3"
+        assert delivery.hop is None
+        assert delivery.via == "pull"
+        # Recovered messages enter the store: this node can now answer
+        # other nodes' polls for them (§5 anti-entropy propagation).
+        assert core.store["m-3"] == (61, "q")
+
+
+class TestPolicyAgreementWithSimulator:
+    """The core and the frozen-snapshot policies share one draw
+    sequence — same rng seed, same links, same targets."""
+
+    @pytest.mark.parametrize("protocol", ["ringcast", "randcast", "flooding"])
+    def test_same_targets_as_policy_layer(self, protocol):
+        from repro.dissemination.policies import (
+            FloodingPolicy,
+            RandCastPolicy,
+            RingCastPolicy,
+        )
+        from repro.dissemination.snapshot import OverlaySnapshot
+
+        node, sender = 1, 11
+        snapshot = OverlaySnapshot(
+            kind=protocol if protocol != "flooding" else "ringcast",
+            rlinks={node: RLINKS, sender: ()},
+            dlinks={node: DLINKS, sender: ()},
+            alive_ids=(node, sender),
+        )
+        policy = {
+            "ringcast": RingCastPolicy(),
+            "randcast": RandCastPolicy(),
+            "flooding": FloodingPolicy(),
+        }[protocol]
+        expected = policy.select_targets(
+            snapshot, node, sender, 3, random.Random(7)
+        )
+        core = DisseminationCore(node, protocol=protocol, fanout=3)
+        _, outgoing = core.handle_message(
+            gossip(sender=sender), RLINKS, DLINKS, random.Random(7)
+        )
+        assert [dest for dest, _ in outgoing] == list(expected)

@@ -1,0 +1,164 @@
+"""Tests for the typed protocol messages of :mod:`repro.core.messages`.
+
+These value objects are the contract between the transport-agnostic
+cores and both drivers: the cycle simulator passes them in memory, the
+UDP runtime serializes them via ``to_payload`` /
+``message_from_payload``. The round-trip must be lossless, addresses
+piggy-backed on descriptors must surface as ``learned_addrs``, and
+malformed wire input must raise :class:`ProtocolError`, never build a
+half-parsed message.
+"""
+
+import json
+
+import pytest
+
+from repro.common.errors import ProtocolError
+from repro.core.messages import (
+    GossipMessage,
+    PullRequest,
+    PullResponse,
+    ShuffleRequest,
+    ShuffleResponse,
+    VicinityRequest,
+    VicinityResponse,
+    decode_descriptor,
+    encode_descriptor,
+    message_from_payload,
+)
+from repro.core.views import NodeDescriptor
+from repro.sim.node import NodeProfile
+
+
+def desc(node_id, age=0, ring=17, domain=None):
+    return NodeDescriptor(node_id, age, NodeProfile((ring,), domain=domain))
+
+
+def roundtrip(message, addr_of=None):
+    """Wire-encode through real JSON and decode back."""
+    payload = json.loads(json.dumps(message.to_payload(addr_of=addr_of)))
+    return message_from_payload(payload)
+
+
+class TestDescriptorCodec:
+    def test_roundtrip_without_address(self):
+        original = desc(7, age=3, ring=99, domain="eu")
+        decoded, addr = decode_descriptor(encode_descriptor(original))
+        assert addr is None
+        assert decoded.node_id == 7
+        assert decoded.age == 3
+        assert decoded.profile.ring_ids == (99,)
+        assert decoded.profile.domain == "eu"
+
+    def test_roundtrip_with_address(self):
+        encoded = encode_descriptor(desc(7), ("10.0.0.5", 4711))
+        decoded, addr = decode_descriptor(encoded)
+        assert decoded.node_id == 7
+        assert addr == ("10.0.0.5", 4711)
+
+    def test_domain_omitted_when_absent(self):
+        assert "domain" not in encode_descriptor(desc(7))
+        assert "addr" not in encode_descriptor(desc(7))
+
+    @pytest.mark.parametrize(
+        "junk",
+        [
+            {},
+            {"id": 1},
+            {"id": 1, "age": "old", "rings": [2]},
+            {"id": 1, "age": 0, "rings": "not-a-list-of-ints"},
+            {"id": 1, "age": 0, "rings": [2], "addr": ["host"]},
+            "not even a dict",
+            None,
+        ],
+    )
+    def test_junk_rejected(self, junk):
+        with pytest.raises(ProtocolError, match="descriptor"):
+            decode_descriptor(junk)
+
+
+class TestBatchMessages:
+    @pytest.mark.parametrize(
+        "cls", [ShuffleRequest, ShuffleResponse, VicinityResponse]
+    )
+    def test_batch_roundtrip(self, cls):
+        entries = [desc(2, age=1), desc(3, age=4, domain="us")]
+        decoded, addrs = roundtrip(cls(sender=9, entries=entries))
+        assert isinstance(decoded, cls)
+        assert decoded.sender == 9
+        assert [e.node_id for e in decoded.entries] == [2, 3]
+        assert [e.age for e in decoded.entries] == [1, 4]
+        assert decoded.entries[1].profile.domain == "us"
+        assert addrs == {}
+
+    def test_addresses_travel_with_descriptors(self):
+        book = {2: ("127.0.0.1", 1002), 3: ("127.0.0.1", 1003)}
+        message = ShuffleRequest(sender=9, entries=[desc(2), desc(3), desc(4)])
+        decoded, addrs = roundtrip(message, addr_of=book.get)
+        # Node 4 had no known address: it still decodes, just unlearned.
+        assert [e.node_id for e in decoded.entries] == [2, 3, 4]
+        assert addrs == book
+
+    def test_vicinity_request_carries_initiator(self):
+        me = desc(9, ring=5)
+        message = VicinityRequest(
+            sender=9, initiator=me, entries=[desc(2), desc(3)]
+        )
+        decoded, addrs = roundtrip(
+            message, addr_of=lambda n: ("127.0.0.1", 9000 + n)
+        )
+        assert isinstance(decoded, VicinityRequest)
+        assert decoded.initiator.node_id == 9
+        assert decoded.initiator.profile.ring_ids == (5,)
+        # The initiator's own address is learnable too.
+        assert addrs[9] == ("127.0.0.1", 9009)
+        assert addrs[2] == ("127.0.0.1", 9002)
+
+
+class TestDisseminationMessages:
+    def test_gossip_roundtrip(self):
+        message = GossipMessage(
+            sender=4, msg_id="abc-1", origin=2, hop=3, payload={"k": [1, 2]}
+        )
+        decoded, addrs = roundtrip(message)
+        assert isinstance(decoded, GossipMessage)
+        assert (decoded.sender, decoded.msg_id) == (4, "abc-1")
+        assert (decoded.origin, decoded.hop) == (2, 3)
+        assert decoded.payload == {"k": [1, 2]}
+        assert addrs == {}
+
+    def test_pull_roundtrip(self):
+        poll, _ = roundtrip(PullRequest(sender=4, known=("a-1", "b-2")))
+        assert isinstance(poll, PullRequest)
+        assert poll.known == ("a-1", "b-2")
+        answer, _ = roundtrip(
+            PullResponse(sender=5, messages=[("a-1", 2, "hello")])
+        )
+        assert isinstance(answer, PullResponse)
+        assert answer.messages == (("a-1", 2, "hello"),)
+
+
+class TestMalformedWire:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown"):
+            message_from_payload({"t": "teleport", "from": 1})
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(ProtocolError):
+            message_from_payload([1, 2, 3])
+
+    @pytest.mark.parametrize(
+        "obj",
+        [
+            {"t": "gossip", "from": 1},  # missing msg_id/origin/hop
+            {"t": "shuffle_request", "from": 1},  # missing entries
+            {"t": "shuffle_request", "from": 1, "entries": [{"id": 1}]},
+            {"t": "vicinity_request", "from": 1, "entries": []},  # no initiator
+            {"t": "pull_request", "from": 1},  # missing known
+            {"t": "pull_response", "from": 1, "messages": [["only-id"]]},
+            {"t": "gossip"},  # missing sender
+        ],
+    )
+    def test_malformed_bodies_rejected(self, obj):
+        with pytest.raises(ProtocolError):
+            message_from_payload(obj)

@@ -1,0 +1,458 @@
+"""Tests for the live-network runtime (:mod:`repro.net`).
+
+Everything runs on real UDP sockets on loopback, inside ``asyncio.run``
+(no external processes, no pytest-asyncio): datagram codec and address
+book, the bootstrap join/welcome handshake, gossip convergence of the
+CYCLON+VICINITY cores over the wire, dissemination with delivery ratio
+1.0 across a 5-node cluster, ping/pong liveness declaring a silently
+dead peer down, §5 pull recovery for a late joiner, and the log
+analyzer — both over logs a real cluster just wrote and over synthetic
+logs with hand-computable numbers.
+"""
+
+import asyncio
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.common.errors import ConfigurationError, ProtocolError
+from repro.net.analyzer import analyze_run, render_net_report
+from repro.net.node import GossipNode, NodeConfig
+from repro.net.wire import (
+    MAX_DATAGRAM_BYTES,
+    AddressBook,
+    decode_datagram,
+    encode_datagram,
+    parse_endpoint,
+    send_publish,
+)
+
+# Fast-but-not-frantic timings for loopback tests on a 1-CPU runner.
+FAST = dict(
+    gossip_period=0.08,
+    ping_period=0.5,
+    ping_timeout=0.3,
+    ping_retries=2,
+    ping_backoff=1.5,
+)
+
+
+async def wait_until(predicate, timeout=10.0, interval=0.05):
+    """Poll ``predicate`` inside the event loop until true or timeout."""
+    loop = asyncio.get_running_loop()
+    deadline = loop.time() + timeout
+    while True:
+        if predicate():
+            return
+        if loop.time() > deadline:
+            raise AssertionError("condition not reached before timeout")
+        await asyncio.sleep(interval)
+
+
+async def start_cluster(count, log_dir=None, **overrides):
+    """One bootstrap + ``count - 1`` joiners, already started."""
+    settings = dict(FAST)
+    settings.update(overrides)
+    boot = GossipNode(NodeConfig(seed=1, log_dir=log_dir, **settings))
+    addr = await boot.start()
+    nodes = [boot]
+    for seed in range(2, count + 1):
+        node = GossipNode(
+            NodeConfig(seed=seed, bootstrap=(addr,), log_dir=log_dir, **settings)
+        )
+        await node.start()
+        nodes.append(node)
+    return nodes
+
+
+async def stop_all(nodes):
+    for node in nodes:
+        await node.shutdown()
+
+
+# ----------------------------------------------------------------------
+# wire layer
+# ----------------------------------------------------------------------
+
+
+class TestWire:
+    def test_datagram_roundtrip_is_canonical(self):
+        obj = {"t": "ping", "from": 3, "nonce": 7}
+        data = encode_datagram(obj)
+        assert data == b'{"from":3,"nonce":7,"t":"ping"}'
+        assert decode_datagram(data) == obj
+
+    def test_oversized_datagram_refused(self):
+        with pytest.raises(ProtocolError, match="exceeds"):
+            encode_datagram({"t": "gossip", "payload": "x" * MAX_DATAGRAM_BYTES})
+
+    @pytest.mark.parametrize(
+        "junk", [b"\x00\x01\x02", b"[1,2,3]", b'{"no":"tag"}', b"{trunc"]
+    )
+    def test_junk_datagrams_rejected(self, junk):
+        with pytest.raises(ProtocolError):
+            decode_datagram(junk)
+
+    def test_parse_endpoint(self):
+        assert parse_endpoint("host:99") == ("host", 99)
+        for bad in ("nohost", ":1", "host:x"):
+            with pytest.raises(ProtocolError):
+                parse_endpoint(bad)
+
+    def test_address_book(self):
+        book = AddressBook()
+        book.learn(7, ("127.0.0.1", 4000))
+        book.learn_all({8: ("127.0.0.1", 4001)})
+        assert book.get(7) == ("127.0.0.1", 4000)
+        assert 8 in book and len(book) == 2
+        assert set(book.known_ids()) == {7, 8}
+        book.forget(7)
+        assert book.get(7) is None and 7 not in book
+
+    def test_send_publish_acked_by_fake_node(self):
+        sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        sock.bind(("127.0.0.1", 0))
+
+        def responder():
+            data, addr = sock.recvfrom(65536)
+            obj = decode_datagram(data)
+            assert obj["t"] == "publish" and obj["payload"] == "hi"
+            sock.sendto(
+                encode_datagram({"t": "publish_ack", "msg_id": "x-1"}), addr
+            )
+
+        thread = threading.Thread(target=responder, daemon=True)
+        thread.start()
+        try:
+            msg_id = send_publish(
+                sock.getsockname()[:2], "hi", timeout=10.0, retries=1
+            )
+        finally:
+            thread.join(timeout=10)
+            sock.close()
+        assert msg_id == "x-1"
+
+    def test_send_publish_gives_up_without_ack(self):
+        sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        sock.bind(("127.0.0.1", 0))  # bound but never answering
+        try:
+            with pytest.raises(ProtocolError, match="publish_ack"):
+                send_publish(
+                    sock.getsockname()[:2], "hi", timeout=0.05, retries=2
+                )
+        finally:
+            sock.close()
+
+
+# ----------------------------------------------------------------------
+# the live node
+# ----------------------------------------------------------------------
+
+
+class TestNodeLifecycle:
+    def test_join_welcome_seeds_views_both_ways(self):
+        async def scenario():
+            nodes = await start_cluster(2)
+            boot, joiner = nodes
+            await wait_until(
+                lambda: joiner.cyclon.view.contains(boot.node_id)
+                and boot.cyclon.view.contains(joiner.node_id)
+            )
+            assert joiner.addrs.get(boot.node_id) == boot.local_addr
+            assert boot.addrs.get(joiner.node_id) is not None
+            await stop_all(nodes)
+
+        asyncio.run(scenario())
+
+    def test_gossip_converges_five_nodes(self):
+        async def scenario():
+            nodes = await start_cluster(5)
+            # Every node learns r-links and both d-links over real UDP.
+            await wait_until(
+                lambda: all(n.cyclon.view.size >= 2 for n in nodes)
+                and all(
+                    None not in n.vicinity.ring_neighbors() for n in nodes
+                )
+            )
+            counts = [n.counters.get("recv.shuffle_response", 0) for n in nodes]
+            assert all(c > 0 for c in counts)
+            await stop_all(nodes)
+
+        asyncio.run(scenario())
+
+    def test_peer_down_after_missed_pongs(self):
+        async def scenario():
+            nodes = await start_cluster(2, ping_period=0.15, ping_timeout=0.1)
+            boot, joiner = nodes
+            await wait_until(lambda: boot.cyclon.view.contains(joiner.node_id))
+            await joiner.shutdown()  # silently gone: no farewell datagram
+            await wait_until(
+                lambda: boot.counters.get("ping.peer_down", 0) >= 1
+            )
+            assert not boot.cyclon.view.contains(joiner.node_id)
+            assert not boot.vicinity.view.contains(joiner.node_id)
+            assert boot.addrs.get(joiner.node_id) is None
+            await boot.shutdown()
+
+        asyncio.run(scenario())
+
+    def test_five_node_dissemination_delivers_everywhere(self, tmp_path):
+        async def scenario():
+            nodes = await start_cluster(5, log_dir=tmp_path)
+            await wait_until(
+                lambda: all(n.cyclon.view.size >= 2 for n in nodes)
+            )
+            msg_id = nodes[0].publish("smoke")
+            await wait_until(
+                lambda: all(msg_id in n.dissemination.seen for n in nodes)
+            )
+            # One more gossip round so the analyzer sees fresh views.
+            await asyncio.sleep(0.2)
+            await stop_all(nodes)
+            return msg_id
+
+        msg_id = asyncio.run(scenario())
+
+        report = analyze_run(tmp_path)
+        assert report.population == 5
+        assert report.delivery_ratio == 1.0
+        (message,) = report.messages
+        assert message.msg_id == msg_id
+        assert message.delivered == 5
+        assert message.hop_histogram.get(0) == 1  # the origin
+        assert message.predicted is not None
+        assert message.predicted["delivery_ratio"] > 0.0
+        assert message.hops_within_tolerance is not None
+        text = render_net_report(report)
+        assert "ratio 1.000" in text and "sim prediction" in text
+
+    def test_pull_recovery_for_late_joiner(self):
+        async def scenario():
+            boot = GossipNode(NodeConfig(seed=1, **FAST))
+            addr = await boot.start()
+            msg_id = boot.publish("early")  # view empty: reaches nobody
+            late = GossipNode(
+                NodeConfig(seed=2, bootstrap=(addr,), pull_period=0.1, **FAST)
+            )
+            await late.start()
+            await wait_until(lambda: msg_id in late.dissemination.seen)
+            # Push gossip for the message ended before the joiner
+            # existed; only §5 anti-entropy can have delivered it.
+            assert late.dissemination.seen[msg_id] is None
+            assert late.dissemination.store[msg_id] == (boot.node_id, "early")
+            await stop_all([boot, late])
+
+        asyncio.run(scenario())
+
+    def test_stop_log_carries_counters(self, tmp_path):
+        async def scenario():
+            nodes = await start_cluster(2, log_dir=tmp_path)
+            await wait_until(
+                lambda: any(
+                    n.counters.get("recv.shuffle_request") for n in nodes
+                )
+            )
+            await stop_all(nodes)
+
+        asyncio.run(scenario())
+        events = []
+        for path in tmp_path.glob("*.jsonl"):
+            with open(path, encoding="utf-8") as handle:
+                events.extend(json.loads(line) for line in handle if line.strip())
+        stops = [e for e in events if e["event"] == "stop"]
+        assert len(stops) == 2
+        assert any(e["counters"].get("recv.shuffle_request") for e in stops)
+        starts = [e for e in events if e["event"] == "start"]
+        assert all("ring_id" in e and "addr" in e for e in starts)
+
+
+# ----------------------------------------------------------------------
+# analyzer on synthetic logs: hand-computable numbers
+# ----------------------------------------------------------------------
+
+
+def write_log(tmp_path, node_id, records):
+    path = tmp_path / f"node-{node_id:012x}.jsonl"
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record) + "\n")
+
+
+def _chain_logs(tmp_path):
+    """A 1 -> 2 -> 3 flooding chain published at ts=100."""
+    base = {"event": "start", "protocol": "flooding", "fanout": 1}
+    write_log(
+        tmp_path,
+        1,
+        [
+            dict(base, ts=90.0, node=1, ring_id=10, addr=["127.0.0.1", 1]),
+            {"ts": 99.0, "node": 1, "event": "views", "cycle": 9,
+             "rlinks": [2], "dlinks": []},
+            {"ts": 100.0, "node": 1, "event": "publish", "msg_id": "m-1",
+             "payload": "p"},
+            {"ts": 100.0, "node": 1, "event": "deliver", "msg_id": "m-1",
+             "origin": 1, "hop": 0, "via": "publish"},
+            {"ts": 100.0, "node": 1, "event": "forward", "msg_id": "m-1",
+             "hop": 1, "targets": [2]},
+        ],
+    )
+    write_log(
+        tmp_path,
+        2,
+        [
+            dict(base, ts=90.0, node=2, ring_id=20, addr=["127.0.0.1", 2]),
+            {"ts": 99.0, "node": 2, "event": "views", "cycle": 9,
+             "rlinks": [1, 3], "dlinks": []},
+            {"ts": 100.01, "node": 2, "event": "deliver", "msg_id": "m-1",
+             "origin": 1, "hop": 1, "via": "push"},
+            {"ts": 100.01, "node": 2, "event": "forward", "msg_id": "m-1",
+             "hop": 2, "targets": [3]},
+        ],
+    )
+    write_log(
+        tmp_path,
+        3,
+        [
+            dict(base, ts=90.0, node=3, ring_id=30, addr=["127.0.0.1", 3]),
+            {"ts": 99.0, "node": 3, "event": "views", "cycle": 9,
+             "rlinks": [2], "dlinks": []},
+            {"ts": 100.02, "node": 3, "event": "deliver", "msg_id": "m-1",
+             "origin": 1, "hop": 2, "via": "push"},
+        ],
+    )
+
+
+class TestAnalyzerSyntheticLogs:
+    def test_exact_numbers_on_flooding_chain(self, tmp_path):
+        _chain_logs(tmp_path)
+        report = analyze_run(tmp_path, sim_trials=5)
+        assert report.population == 3
+        (m,) = report.messages
+        assert m.delivered == 3
+        assert m.delivery_ratio == 1.0
+        assert m.hop_histogram == {0: 1, 1: 1, 2: 1}
+        assert m.mean_hops == 1.0
+        assert m.max_hops == 2
+        assert m.gossip_sends == 2
+        assert m.msgs_per_node == pytest.approx(2 / 3)
+        assert m.latency_seconds == pytest.approx(0.02)
+        # Flooding over this frozen chain is deterministic: the sim
+        # prediction must agree exactly.
+        assert m.predicted["delivery_ratio"] == 1.0
+        assert m.predicted["mean_hops"] == 1.0
+        assert m.predicted["max_hops"] == 2
+        assert m.hops_within_tolerance is True
+
+    def test_partial_delivery_and_pull_tally(self, tmp_path):
+        _chain_logs(tmp_path)
+        # Node 3 recovered by pull instead (hop is null), and a fourth
+        # node never delivered at all.
+        write_log(
+            tmp_path,
+            3,
+            [
+                {"ts": 90.0, "node": 3, "event": "start",
+                 "protocol": "flooding", "fanout": 1, "ring_id": 30},
+                {"ts": 99.0, "node": 3, "event": "views", "cycle": 9,
+                 "rlinks": [2], "dlinks": []},
+                {"ts": 101.0, "node": 3, "event": "deliver", "msg_id": "m-1",
+                 "origin": 1, "hop": None, "via": "pull"},
+            ],
+        )
+        write_log(
+            tmp_path,
+            4,
+            [
+                {"ts": 90.0, "node": 4, "event": "start",
+                 "protocol": "flooding", "fanout": 1, "ring_id": 40},
+                {"ts": 99.0, "node": 4, "event": "views", "cycle": 9,
+                 "rlinks": [], "dlinks": []},
+            ],
+        )
+        report = analyze_run(tmp_path, sim_trials=5)
+        assert report.population == 4
+        (m,) = report.messages
+        assert m.delivered == 3
+        assert m.delivery_ratio == 0.75
+        assert m.push_deliveries == 2
+        assert m.pull_deliveries == 1
+        assert report.delivery_ratio == 0.75
+
+    def test_missing_views_skip_prediction(self, tmp_path):
+        _chain_logs(tmp_path)
+        write_log(
+            tmp_path,
+            5,
+            [
+                {"ts": 90.0, "node": 5, "event": "start",
+                 "protocol": "flooding", "fanout": 1, "ring_id": 50},
+                # no views event: the overlay cannot be reconstructed
+            ],
+        )
+        report = analyze_run(tmp_path, sim_trials=5)
+        (m,) = report.messages
+        assert m.predicted is None
+        assert m.hops_within_tolerance is None
+        assert "sim prediction" not in render_net_report(report)
+
+    def test_empty_log_dir_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="no .jsonl"):
+            analyze_run(tmp_path)
+
+
+# ----------------------------------------------------------------------
+# CLI wiring
+# ----------------------------------------------------------------------
+
+
+class TestNetCli:
+    def test_node_subcommand_parses(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            [
+                "node", "--port", "7000", "--bootstrap", "127.0.0.1:7001",
+                "--bootstrap", "127.0.0.1:7002", "--protocol", "randcast",
+                "--run-for", "5", "--seed", "3",
+            ]
+        )
+        assert args.port == 7000
+        assert args.bootstrap == ["127.0.0.1:7001", "127.0.0.1:7002"]
+        assert args.protocol == "randcast"
+        assert args.run_for == 5.0
+
+    def test_net_analyze_runs_end_to_end(self, tmp_path, capsys):
+        from repro.cli import main
+
+        _chain_logs(tmp_path)
+        json_out = tmp_path / "report.json"
+        assert (
+            main(
+                [
+                    "net-analyze", str(tmp_path), "--sim-trials", "5",
+                    "--expect-ratio", "1.0", "--json", str(json_out),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "ratio 1.000" in out
+        saved = json.loads(json_out.read_text())
+        assert saved["delivery_ratio"] == 1.0
+
+    def test_net_analyze_ratio_gate_fails(self, tmp_path):
+        from repro.cli import main
+
+        _chain_logs(tmp_path)
+        (tmp_path / f"node-{9:012x}.jsonl").write_text(
+            json.dumps(
+                {"ts": 90.0, "node": 9, "event": "start",
+                 "protocol": "flooding", "fanout": 1, "ring_id": 90}
+            )
+            + "\n"
+        )
+        with pytest.raises(SystemExit, match="below"):
+            main(["net-analyze", str(tmp_path), "--sim-trials", "5",
+                  "--expect-ratio", "1.0"])

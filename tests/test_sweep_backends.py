@@ -21,6 +21,7 @@ from repro.experiments.config import ExperimentConfig
 from repro.experiments.scenario_matrix import run_trial, scenario_names
 from repro.experiments.sweep import SweepGrid, execute_jobs, run_sweep
 from repro.experiments.sweep_backends import (
+    DEFAULT_TRIAL_DEADLINE,
     FRAME_DEFLATE_FLAG,
     WIRE_FORMAT,
     FrameDecoder,
@@ -35,6 +36,7 @@ from repro.experiments.sweep_backends import (
     encode_frame,
     parse_endpoint,
     resolve_backend,
+    run_worker,
 )
 from repro.experiments.sweep_results import TrialSpec
 
@@ -709,3 +711,102 @@ class TestRunSweepBackendParam:
     def test_workers_zero_still_rejected_by_default_backends(self):
         with pytest.raises(ConfigurationError):
             sweep(workers=0)
+
+# ----------------------------------------------------------------------
+# the per-trial deadline: live-but-silent workers must not stall a sweep
+# ----------------------------------------------------------------------
+
+
+class TestTrialDeadline:
+    def test_deadline_validated(self):
+        with pytest.raises(ConfigurationError, match="trial_deadline"):
+            SocketWorkerBackend(workers=2, trial_deadline=0)
+
+    def test_resolve_backend_passes_deadline_through(self):
+        backend = resolve_backend("socket", workers=2, trial_deadline=5.0)
+        assert backend.trial_deadline == 5.0
+
+    def test_resolve_backend_defaults_deadline(self):
+        backend = resolve_backend("socket", workers=2)
+        assert backend.trial_deadline == DEFAULT_TRIAL_DEADLINE
+
+    def test_stalled_worker_dropped_and_trial_redispatched(
+        self, inline_json
+    ):
+        """The ISSUE 7 stall: a worker completes its hello, accepts a
+        trial, then goes silent *without closing the connection*. With
+        a blocking recv the sweep would hang forever; the per-trial
+        deadline must drop the staller, re-dispatch its trial to the
+        honest worker, and still produce the reference bytes."""
+        backend = SocketWorkerBackend(
+            workers=0,
+            listen=("127.0.0.1", free_port()),
+            idle_timeout=60.0,
+            trial_deadline=1.0,
+        )
+
+        def script():
+            address = backend.wait_listening()
+            staller = _FakeWorker(address)
+            message = staller.recv()
+            assert message["type"] == "trial"
+            # ... and now: nothing. The connection stays open.
+            worker = _FakeWorker(address)
+            while worker.serve_one():
+                pass
+            worker.close()
+            staller.close()
+
+        thread, errors = _run_in_thread(script)
+        start = time.monotonic()
+        result = sweep(backend=backend)
+        elapsed = time.monotonic() - start
+        thread.join(timeout=60)
+        assert not errors, errors
+        assert result.to_json() == inline_json
+        # The stall cost one deadline, not an idle_timeout / eternity.
+        assert elapsed < 30.0
+
+
+# ----------------------------------------------------------------------
+# worker-side connect retry: workers may boot before the server
+# ----------------------------------------------------------------------
+
+
+class TestWorkerConnectRetry:
+    def test_worker_waits_for_late_server(self):
+        """`repro sweep-worker --connect` launched before the sweep
+        server is up must retry instead of dying on the startup race."""
+        port = free_port()
+
+        def late_server():
+            time.sleep(0.7)
+            server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            server.bind(("127.0.0.1", port))
+            server.listen()
+            conn, _addr = server.accept()
+            decoder = FrameDecoder()
+            inbox = []
+            while not inbox:
+                data = conn.recv(65536)
+                if not data:
+                    raise ConnectionError("worker hung up early")
+                inbox.extend(decoder.feed(data))
+            assert inbox[0]["type"] == "hello"
+            conn.sendall(encode_frame({"type": "shutdown"}))
+            conn.close()
+            server.close()
+
+        thread, errors = _run_in_thread(late_server)
+        completed = run_worker(f"127.0.0.1:{port}", connect_timeout=30.0)
+        thread.join(timeout=30)
+        assert not errors, errors
+        assert completed == 0
+
+    def test_connect_timeout_exhausted_raises(self):
+        port = free_port()  # nothing ever listens here
+        start = time.monotonic()
+        with pytest.raises(ConnectionRefusedError):
+            run_worker(f"127.0.0.1:{port}", connect_timeout=0.5)
+        assert time.monotonic() - start < 5.0
