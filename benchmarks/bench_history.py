@@ -1,0 +1,92 @@
+"""Sweep history store: cold run vs pure-lookup hit.
+
+The history store's pitch is that re-running an identical spec with
+``--history`` costs one file read instead of a grid of trials — a
+stronger claim than the per-trial resume cache, which still expands
+the grid and consults the store once per trial. This bench measures
+both paths on the same modest grid and records the ratio in
+``results/BENCH_history.json``, asserting along the way that the hit
+hands back byte-identical sweep JSON (a fast lookup that returned
+different numbers would measure nothing) and that it beats the cold
+run. A fully-warm per-trial-cache run is timed alongside for context:
+on small grids the two fast paths are comparable, but the trial cache
+still expands the grid and reads one file per trial, so the gap grows
+with grid size while the history hit stays one read.
+"""
+
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+from benchmarks.conftest import BENCH_SEED, once, record_json
+from repro.api import run_sweep
+from repro.experiments.sweep_spec import SweepSpec
+
+SPEC = SweepSpec(
+    scenarios=("static",),
+    protocols=("randcast", "ringcast"),
+    num_nodes=(60,),
+    fanouts=(1, 2, 3, 4),
+    replicates=2,
+    num_messages=3,
+    seed=BENCH_SEED,
+    config_overrides={"warmup_cycles": 30},
+)
+
+
+def _timed(**kwargs):
+    started = time.perf_counter()
+    result = run_sweep(spec=SPEC, **kwargs)
+    return result, time.perf_counter() - started
+
+
+def test_history_hit_vs_cold_run(benchmark):
+    root = Path(tempfile.mkdtemp(prefix="bench_history_"))
+    history = root / "history"
+    cache = root / "cache"
+    try:
+        reference, reference_seconds = _timed()
+        cold, cold_seconds = _timed(history=history)
+        hit, hit_seconds = once(
+            benchmark, lambda: _timed(history=history)
+        )
+        # The per-trial resume cache is the existing fast path;
+        # record its fully-warm case alongside for comparison.
+        _timed(cache_dir=cache)
+        _, trial_cache_seconds = _timed(cache_dir=cache)
+
+        assert cold.to_json() == reference.to_json()
+        assert hit.to_json() == reference.to_json()
+        entries = sorted(p.name for p in history.glob("sweep_*.json"))
+        assert len(entries) == 1, entries
+
+        assert hit_seconds < cold_seconds, (
+            f"history hit ({hit_seconds:.3f}s) is not faster than the "
+            f"cold run ({cold_seconds:.3f}s)"
+        )
+
+        record_json(
+            "BENCH_history",
+            {
+                "spec_fingerprint": SPEC.fingerprint(),
+                "trials": len(SPEC.expand()),
+                "entry": entries[0],
+                "entry_bytes": sum(
+                    p.stat().st_size for p in history.iterdir()
+                ),
+                "no_store_seconds": round(reference_seconds, 3),
+                "cold_seconds": round(cold_seconds, 3),
+                "hit_seconds": round(hit_seconds, 4),
+                "hit_speedup": round(cold_seconds / hit_seconds, 1),
+                "warm_trial_cache_seconds": round(
+                    trial_cache_seconds, 3
+                ),
+                "hit_speedup_vs_trial_cache": round(
+                    trial_cache_seconds / hit_seconds, 1
+                ),
+                "byte_identical_to_no_store": True,
+            },
+        )
+    finally:
+        shutil.rmtree(root, ignore_errors=True)

@@ -31,8 +31,10 @@ Quickstart
 from repro.api import (
     build_overlay,
     disseminate,
+    run_adaptive_sweep,
     run_experiment,
     run_sweep,
+    run_sweep_diff,
     scenario,
 )
 from repro.dissemination.executor import DisseminationResult
@@ -41,7 +43,7 @@ from repro.experiments.sweep import SweepGrid
 from repro.experiments.sweep_results import SweepResult
 from repro.experiments.sweep_spec import SweepSpec
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "DisseminationResult",
@@ -52,7 +54,9 @@ __all__ = [
     "__version__",
     "build_overlay",
     "disseminate",
+    "run_adaptive_sweep",
     "run_experiment",
     "run_sweep",
+    "run_sweep_diff",
     "scenario",
 ]

@@ -41,8 +41,21 @@ from repro.experiments.scenarios import (
     run_churn_scenario,
     run_static_scenario,
 )
+from repro.experiments.adaptive import (
+    AdaptiveOutcome,
+    AdaptiveSettings,
+    CellAllocation,
+    run_adaptive_sweep as _run_adaptive,
+)
+from repro.experiments.history import (
+    SweepDiff,
+    diff_sweeps,
+    history_mode,
+    load_history_entry,
+    store_history_entry,
+)
 from repro.experiments.sweep import SweepGrid, run_sweep as _run_sweep
-from repro.experiments.sweep_results import SweepResult
+from repro.experiments.sweep_results import SweepResult, config_fingerprint
 from repro.experiments.sweep_spec import (
     LEGACY_FLAT_DEFAULTS,
     ScenarioSelection,
@@ -53,8 +66,10 @@ from repro.experiments.sweep_spec import (
 __all__ = [
     "build_overlay",
     "disseminate",
+    "run_adaptive_sweep",
     "run_experiment",
     "run_sweep",
+    "run_sweep_diff",
     "scenario",
 ]
 
@@ -193,6 +208,147 @@ _GRID_KWARG_DEFAULTS = {
 }
 
 
+def _resolve_sweep_grid(
+    scenarios,
+    protocols,
+    num_nodes,
+    fanouts,
+    replicates,
+    num_messages,
+    kill_fractions,
+    churn_rates,
+    concurrent_messages,
+    pulls_per_round,
+    scale,
+    seed,
+    spec,
+    config_overrides,
+) -> Tuple[Union[SweepGrid, SweepSpec], ExperimentConfig]:
+    """Shared grid + base-config resolution for the sweep facades.
+
+    Implements the three grid-description forms documented on
+    :func:`run_sweep` (spec, scenario selections, legacy flat kwargs)
+    and returns ``(grid, base_config)`` — the base config already
+    carries the effective seed and every override applied.
+    """
+    legacy_passed = {
+        name: value
+        for name, value in (
+            ("kill_fractions", kill_fractions),
+            ("churn_rates", churn_rates),
+            ("concurrent_messages", concurrent_messages),
+            ("pulls_per_round", pulls_per_round),
+        )
+        if value is not None
+    }
+    if legacy_passed:
+        warnings.warn(
+            f"run_sweep's flat kwargs {sorted(legacy_passed)} are "
+            "deprecated; pass per-scenario parameters via "
+            "scenario(...) selections or a SweepSpec (see the "
+            "run_sweep docstring's migration table)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
+    grid_passed = sorted(
+        name
+        for name, value in (
+            ("scenarios", scenarios),
+            ("protocols", protocols),
+            ("num_nodes", num_nodes),
+            ("fanouts", fanouts),
+            ("replicates", replicates),
+            ("num_messages", num_messages),
+        )
+        if value is not None
+    )
+    if scenarios is None:
+        scenarios = _GRID_KWARG_DEFAULTS["scenarios"]
+    if protocols is None:
+        protocols = _GRID_KWARG_DEFAULTS["protocols"]
+    if num_nodes is None:
+        num_nodes = _GRID_KWARG_DEFAULTS["num_nodes"]
+    if fanouts is None:
+        fanouts = _GRID_KWARG_DEFAULTS["fanouts"]
+    if replicates is None:
+        replicates = _GRID_KWARG_DEFAULTS["replicates"]
+    if num_messages is None:
+        num_messages = _GRID_KWARG_DEFAULTS["num_messages"]
+
+    if spec is not None:
+        if legacy_passed:
+            raise ConfigurationError(
+                "spec= cannot be combined with the legacy flat kwargs "
+                f"{sorted(legacy_passed)}"
+            )
+        if grid_passed:
+            # Silently running the spec's grid while the caller
+            # believes e.g. replicates=5 applied would misdescribe
+            # their statistics; the CLI rejects the same combination.
+            raise ConfigurationError(
+                f"spec= already defines the grid; drop {grid_passed} "
+                "(edit the spec instead)"
+            )
+        if not isinstance(spec, SweepSpec):
+            spec = SweepSpec.load(spec)
+        grid: Union[SweepGrid, SweepSpec] = spec
+        base = scale_config(
+            scale if scale is not None else spec.scale,
+            seed=seed if seed is not None else spec.seed,
+        )
+        merged = dict(spec.config_overrides)
+        merged.update(config_overrides)
+        if merged:
+            base = base.with_overrides(**merged)
+        return grid, base
+
+    base = scale_config(scale, seed=seed)
+    if config_overrides:
+        base = base.with_overrides(**config_overrides)
+    selections = tuple(
+        entry
+        for entry in scenarios
+        if isinstance(entry, ScenarioSelection)
+    )
+    if selections:
+        if legacy_passed:
+            raise ConfigurationError(
+                "scenario(...) selections cannot be combined with "
+                "the legacy flat kwargs "
+                f"{sorted(legacy_passed)}; attach parameters to "
+                "the selections instead"
+            )
+        grid = SweepSpec(
+            scenarios=tuple(scenarios),
+            protocols=tuple(protocols),
+            num_nodes=tuple(num_nodes),
+            fanouts=tuple(fanouts),
+            replicates=replicates,
+            num_messages=num_messages,
+        )
+    else:
+        # All-name scenarios with no selections: the historical
+        # flat-grid semantics, bit-for-bit (same trial keys, same
+        # RNG universes, same JSON) whether or not the deprecated
+        # kwargs are spelled out.
+        values = dict(LEGACY_FLAT_DEFAULTS)
+        values.update(legacy_passed)
+        grid = SweepGrid(
+            scenarios=tuple(scenarios),
+            protocols=tuple(protocols),
+            num_nodes=tuple(num_nodes),
+            fanouts=tuple(fanouts),
+            replicates=replicates,
+            num_messages=num_messages,
+            kill_fractions=tuple(values["kill_fractions"]),
+            churn_rates=tuple(values["churn_rates"]),
+            concurrent_messages=values["concurrent_messages"],
+            pulls_per_round=values["pulls_per_round"],
+        )
+    return grid, base
+
+
 def run_sweep(
     scenarios: Optional[Sequence[Union[str, ScenarioSelection]]] = None,
     protocols: Optional[Tuple[str, ...]] = None,
@@ -217,6 +373,8 @@ def run_sweep(
     core: str = "auto",
     snapshot_cache_max_bytes: Optional[int] = None,
     trial_deadline: Optional[float] = None,
+    auth_token: Optional[str] = None,
+    history: Optional[Union[str, Path]] = None,
     **config_overrides,
 ) -> SweepResult:
     """Run a declarative (protocol × N × fanout × scenario × seed) grid.
@@ -302,125 +460,35 @@ def run_sweep(
     extra keyword arguments override
     :class:`~repro.experiments.config.ExperimentConfig` fields of the
     per-trial base configuration (e.g. ``warmup_cycles=40``).
+
+    ``auth_token`` (socket backend only) enables shared-secret frame
+    authentication on the worker wire: workers must present the same
+    token or are cleanly rejected (see ``docs/distributed_sweeps.md``).
+
+    ``history`` names a sweep history store directory (see
+    :mod:`repro.experiments.history` and
+    ``docs/experiment_service.md``): completed sweeps are persisted
+    keyed by the spec fingerprint, effective config and execution
+    mode, and re-running an identical sweep is a pure lookup — zero
+    trial executions, byte-identical :class:`SweepResult`.
     """
-    legacy_passed = {
-        name: value
-        for name, value in (
-            ("kill_fractions", kill_fractions),
-            ("churn_rates", churn_rates),
-            ("concurrent_messages", concurrent_messages),
-            ("pulls_per_round", pulls_per_round),
-        )
-        if value is not None
-    }
-    if legacy_passed:
-        warnings.warn(
-            f"run_sweep's flat kwargs {sorted(legacy_passed)} are "
-            "deprecated; pass per-scenario parameters via "
-            "scenario(...) selections or a SweepSpec (see the "
-            "run_sweep docstring's migration table)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-
-    grid_passed = sorted(
-        name
-        for name, value in (
-            ("scenarios", scenarios),
-            ("protocols", protocols),
-            ("num_nodes", num_nodes),
-            ("fanouts", fanouts),
-            ("replicates", replicates),
-            ("num_messages", num_messages),
-        )
-        if value is not None
+    grid, base = _resolve_sweep_grid(
+        scenarios,
+        protocols,
+        num_nodes,
+        fanouts,
+        replicates,
+        num_messages,
+        kill_fractions,
+        churn_rates,
+        concurrent_messages,
+        pulls_per_round,
+        scale,
+        seed,
+        spec,
+        config_overrides,
     )
-    if scenarios is None:
-        scenarios = _GRID_KWARG_DEFAULTS["scenarios"]
-    if protocols is None:
-        protocols = _GRID_KWARG_DEFAULTS["protocols"]
-    if num_nodes is None:
-        num_nodes = _GRID_KWARG_DEFAULTS["num_nodes"]
-    if fanouts is None:
-        fanouts = _GRID_KWARG_DEFAULTS["fanouts"]
-    if replicates is None:
-        replicates = _GRID_KWARG_DEFAULTS["replicates"]
-    if num_messages is None:
-        num_messages = _GRID_KWARG_DEFAULTS["num_messages"]
-
-    if spec is not None:
-        if legacy_passed:
-            raise ConfigurationError(
-                "spec= cannot be combined with the legacy flat kwargs "
-                f"{sorted(legacy_passed)}"
-            )
-        if grid_passed:
-            # Silently running the spec's grid while the caller
-            # believes e.g. replicates=5 applied would misdescribe
-            # their statistics; the CLI rejects the same combination.
-            raise ConfigurationError(
-                f"spec= already defines the grid; drop {grid_passed} "
-                "(edit the spec instead)"
-            )
-        if not isinstance(spec, SweepSpec):
-            spec = SweepSpec.load(spec)
-        grid: Union[SweepGrid, SweepSpec] = spec
-        base = scale_config(
-            scale if scale is not None else spec.scale,
-            seed=seed if seed is not None else spec.seed,
-        )
-        merged = dict(spec.config_overrides)
-        merged.update(config_overrides)
-        if merged:
-            base = base.with_overrides(**merged)
-    else:
-        base = scale_config(scale, seed=seed)
-        if config_overrides:
-            base = base.with_overrides(**config_overrides)
-        selections = tuple(
-            entry
-            for entry in scenarios
-            if isinstance(entry, ScenarioSelection)
-        )
-        if selections:
-            if legacy_passed:
-                raise ConfigurationError(
-                    "scenario(...) selections cannot be combined with "
-                    "the legacy flat kwargs "
-                    f"{sorted(legacy_passed)}; attach parameters to "
-                    "the selections instead"
-                )
-            grid = SweepSpec(
-                scenarios=tuple(scenarios),
-                protocols=tuple(protocols),
-                num_nodes=tuple(num_nodes),
-                fanouts=tuple(fanouts),
-                replicates=replicates,
-                num_messages=num_messages,
-            )
-        else:
-            # All-name scenarios with no selections: the historical
-            # flat-grid semantics, bit-for-bit (same trial keys, same
-            # RNG universes, same JSON) whether or not the deprecated
-            # kwargs are spelled out.
-            values = dict(LEGACY_FLAT_DEFAULTS)
-            values.update(legacy_passed)
-            grid = SweepGrid(
-                scenarios=tuple(scenarios),
-                protocols=tuple(protocols),
-                num_nodes=tuple(num_nodes),
-                fanouts=tuple(fanouts),
-                replicates=replicates,
-                num_messages=num_messages,
-                kill_fractions=tuple(values["kill_fractions"]),
-                churn_rates=tuple(values["churn_rates"]),
-                concurrent_messages=values["concurrent_messages"],
-                pulls_per_round=values["pulls_per_round"],
-            )
-    return _run_sweep(
-        grid,
-        base_config=base,
-        root_seed=base.seed,
+    run_kwargs = dict(
         workers=workers,
         cache_dir=cache_dir,
         progress=progress,
@@ -431,4 +499,188 @@ def run_sweep(
         core=core,
         snapshot_cache_max_bytes=snapshot_cache_max_bytes,
         trial_deadline=trial_deadline,
+        auth_token=auth_token,
+    )
+    if history is None:
+        return _run_sweep(grid, base_config=base, root_seed=base.seed, **run_kwargs)
+    history_spec = grid if isinstance(grid, SweepSpec) else grid.to_spec()
+    digest = config_fingerprint(base)
+    mode = history_mode(overlay_reuse=overlay_reuse, core=core)
+    hit = load_history_entry(history, history_spec, base.seed, digest, mode)
+    if hit is not None:
+        return hit.result
+    result = _run_sweep(grid, base_config=base, root_seed=base.seed, **run_kwargs)
+    store_history_entry(history, history_spec, result, base.seed, digest, mode)
+    return result
+
+
+def run_adaptive_sweep(
+    scenarios: Optional[Sequence[Union[str, ScenarioSelection]]] = None,
+    protocols: Optional[Tuple[str, ...]] = None,
+    num_nodes: Optional[Tuple[int, ...]] = None,
+    fanouts: Optional[Tuple[int, ...]] = None,
+    replicates: Optional[int] = None,
+    num_messages: Optional[int] = None,
+    kill_fractions: Optional[Tuple[float, ...]] = None,
+    churn_rates: Optional[Tuple[float, ...]] = None,
+    concurrent_messages: Optional[int] = None,
+    pulls_per_round: Optional[int] = None,
+    scale: Optional[str] = None,
+    seed: Optional[int] = None,
+    workers: int = 1,
+    cache_dir: Optional[Union[str, Path]] = None,
+    progress=None,
+    backend: Optional[str] = None,
+    listen: Optional[Tuple[str, int]] = None,
+    spec: Union[SweepSpec, str, Path, None] = None,
+    snapshot_cache: Optional[Union[str, Path]] = None,
+    overlay_reuse: str = "trial",
+    core: str = "auto",
+    snapshot_cache_max_bytes: Optional[int] = None,
+    trial_deadline: Optional[float] = None,
+    auth_token: Optional[str] = None,
+    history: Optional[Union[str, Path]] = None,
+    ci_width: float = 1.0,
+    max_replicates: int = 8,
+    ci_metric: str = "miss_ratio",
+    **config_overrides,
+) -> AdaptiveOutcome:
+    """Run a sweep with adaptive per-cell replicate allocation.
+
+    Accepts the same grid descriptions, backends and caches as
+    :func:`run_sweep`; the grid's ``replicates`` count is the *initial*
+    batch per cell. After each round the 95% confidence interval of
+    ``ci_metric`` (``"miss_ratio"`` — percentage points of missed
+    delivery — or ``"hops"``) is computed per cell, and one further
+    replicate is scheduled for every cell whose CI is still wider than
+    ``ci_width``, up to ``max_replicates`` replicates per cell.
+
+    Replicate seeds come from the same per-trial RNG-universe scheme
+    as fixed grids, so any per-cell replicate prefix is byte-identical
+    to a fixed-replicate run of the same depth — adaptivity changes
+    *how many* trials run, never the trials themselves.
+
+    ``history`` persists/reuses the outcome like :func:`run_sweep`,
+    under a mode key that includes the adaptive settings (an adaptive
+    run never answers a fixed-grid lookup or vice versa).
+    """
+    grid, base = _resolve_sweep_grid(
+        scenarios,
+        protocols,
+        num_nodes,
+        fanouts,
+        replicates,
+        num_messages,
+        kill_fractions,
+        churn_rates,
+        concurrent_messages,
+        pulls_per_round,
+        scale,
+        seed,
+        spec,
+        config_overrides,
+    )
+    settings = AdaptiveSettings(
+        ci_width=ci_width,
+        max_replicates=max_replicates,
+        metric=ci_metric,
+    )
+    run_kwargs = dict(
+        workers=workers,
+        cache_dir=cache_dir,
+        progress=progress,
+        backend=backend,
+        listen=listen,
+        snapshot_cache=snapshot_cache,
+        overlay_reuse=overlay_reuse,
+        core=core,
+        snapshot_cache_max_bytes=snapshot_cache_max_bytes,
+        trial_deadline=trial_deadline,
+        auth_token=auth_token,
+    )
+    history_spec: Optional[SweepSpec] = None
+    digest = ""
+    mode: dict = {}
+    if history is not None:
+        history_spec = grid if isinstance(grid, SweepSpec) else grid.to_spec()
+        digest = config_fingerprint(base)
+        mode = history_mode(
+            overlay_reuse=overlay_reuse,
+            core=core,
+            adaptive=settings.to_dict(),
+        )
+        hit = load_history_entry(history, history_spec, base.seed, digest, mode)
+        if hit is not None:
+            rebuilt = _outcome_from_history(hit, settings)
+            if rebuilt is not None:
+                return rebuilt
+    outcome = _run_adaptive(
+        grid,
+        settings,
+        base_config=base,
+        root_seed=base.seed,
+        **run_kwargs,
+    )
+    if history is not None and history_spec is not None:
+        store_history_entry(
+            history,
+            history_spec,
+            outcome.result,
+            base.seed,
+            digest,
+            mode,
+            adaptive=outcome.to_history_dict(),
+        )
+    return outcome
+
+
+def _outcome_from_history(hit, settings: AdaptiveSettings) -> Optional[AdaptiveOutcome]:
+    """Rebuild an :class:`AdaptiveOutcome` from a history entry's
+    ``adaptive`` block; any malformation is a cache miss, not a crash
+    (same hardening contract as the store itself)."""
+    try:
+        payload = hit.adaptive
+        allocation = tuple(
+            CellAllocation(
+                label=str(cell["label"]),
+                replicates=int(cell["replicates"]),
+                ci95=None if cell["ci95"] is None else float(cell["ci95"]),
+                converged=bool(cell["converged"]),
+            )
+            for cell in payload["allocation"]
+        )
+        return AdaptiveOutcome(
+            result=hit.result,
+            settings=settings,
+            rounds=int(payload["rounds"]),
+            allocation=allocation,
+        )
+    except (KeyError, TypeError, ValueError):
+        return None
+
+
+def run_sweep_diff(
+    spec_a: Union[SweepSpec, str, Path],
+    spec_b: Union[SweepSpec, str, Path],
+    history: Optional[Union[str, Path]] = None,
+    **run_kwargs,
+) -> SweepDiff:
+    """Compare two sweep specs cell by cell.
+
+    Each spec is resolved through :func:`run_sweep` (so with
+    ``history`` set, previously-run specs are pure lookups and only
+    missing ones execute). Matched cells are flagged ``distinct`` when
+    their miss-ratio gap exceeds the sum of both 95% CIs; cells present
+    in only one spec are listed separately. ``run_kwargs`` are
+    forwarded to both runs (workers, backend, caches, ...).
+    """
+    spec_a = spec_a if isinstance(spec_a, SweepSpec) else SweepSpec.load(spec_a)
+    spec_b = spec_b if isinstance(spec_b, SweepSpec) else SweepSpec.load(spec_b)
+    result_a = run_sweep(spec=spec_a, history=history, **run_kwargs)
+    result_b = run_sweep(spec=spec_b, history=history, **run_kwargs)
+    return diff_sweeps(
+        result_a,
+        result_b,
+        label_a=spec_a.fingerprint(),
+        label_b=spec_b.fingerprint(),
     )

@@ -58,8 +58,34 @@ snapshot store (``--snapshot-cache DIR`` / ``--no-snapshot-cache``)
 that lets re-runs skip warm-up gossip entirely — still byte-identical.
 ``--overlay-reuse grid`` opts into sharing one overlay across fanout
 siblings (the paper's freeze-once methodology; deterministic, but a
-different experiment design). See ``docs/distributed_sweeps.md`` and
-``docs/performance.md``.
+different experiment design). On shared networks, ``--auth-token``
+makes the socket wire HMAC-authenticated end to end. See
+``docs/distributed_sweeps.md`` and ``docs/performance.md``.
+
+The experiment service (``docs/experiment_service.md``)
+----------------------------------------------------------
+
+``--history DIR`` persists every completed sweep keyed by its spec
+fingerprint, config, and execution mode; re-running an identical
+invocation is a pure lookup with zero trial executions::
+
+    repro sweep --spec spec.json --history runs/history/
+    repro history list --store runs/history/
+    repro history show 3f2a9c --store runs/history/
+    repro history gc --store runs/history/ --max-bytes 50000000
+
+``--adaptive`` reallocates seed replicates to the cells whose 95% CIs
+are still wider than ``--ci-width`` (up to ``--max-replicates``),
+deterministically and prefix-byte-identically to fixed grids::
+
+    repro sweep --spec spec.json --adaptive --ci-width 0.5
+
+``--diff`` compares two specs cell by cell with CI-overlap verdicts,
+and ``repro report`` renders stored results as one self-contained
+HTML file::
+
+    repro sweep --diff before.json after.json --history runs/history/
+    repro report --store runs/history/ --html runs/report.html
 
 Scales: tiny, small (default), medium, paper — see
 :mod:`repro.experiments.config`.
@@ -436,7 +462,7 @@ def _resolve_sweep_request(args):
 
 
 def _run_sweep(args) -> None:
-    from repro.api import run_sweep
+    from repro.api import run_adaptive_sweep, run_sweep, run_sweep_diff
     from repro.experiments.sweep_backends import parse_endpoint
 
     if args.listen is not None and args.backend != "socket":
@@ -444,6 +470,10 @@ def _run_sweep(args) -> None:
         # connect to a port nobody opened would be a cruel failure mode.
         raise ConfigurationError(
             "--listen only applies to --backend socket"
+        )
+    if args.auth_token is not None and args.backend != "socket":
+        raise ConfigurationError(
+            "--auth-token only applies to --backend socket"
         )
     listen = (
         parse_endpoint(args.listen) if args.listen is not None else None
@@ -462,15 +492,6 @@ def _run_sweep(args) -> None:
         # Resumable sweeps get overlay reuse for free: the store rides
         # inside the trial cache directory unless explicitly declined.
         snapshot_cache = args.cache / "snapshots"
-    spec, run_kwargs = _resolve_sweep_request(args)
-    if args.dump_spec is not None:
-        path = spec.save(args.dump_spec)
-        print(
-            f"(spec written to {path}; fingerprint "
-            f"{spec.fingerprint()} — run it with "
-            f"`repro sweep --spec {path}`)"
-        )
-        return
     done = {"count": 0}
 
     def narrate(key: str, seconds: float, cached: bool) -> None:
@@ -478,9 +499,7 @@ def _run_sweep(args) -> None:
         tag = "cached" if cached else f"~{seconds:.1f}s"
         print(f"[{done['count']}] {key} ({tag})")
 
-    result = run_sweep(
-        scale=args.scale,
-        seed=args.seed,
+    exec_kwargs = dict(
         workers=args.workers,
         cache_dir=args.cache,
         progress=narrate if args.verbose else None,
@@ -491,9 +510,85 @@ def _run_sweep(args) -> None:
         core=args.core,
         snapshot_cache_max_bytes=args.snapshot_cache_max_bytes,
         trial_deadline=args.trial_deadline,
-        **run_kwargs,
+        auth_token=args.auth_token,
+        history=args.history,
     )
-    text = report.render_sweep(result)
+
+    if args.diff is not None:
+        conflicting = [
+            flag
+            for flag, given in (
+                ("--spec", args.spec is not None),
+                ("--dump-spec", args.dump_spec is not None),
+                ("--adaptive", args.adaptive),
+            )
+            if given
+        ]
+        if conflicting:
+            raise ConfigurationError(
+                f"--diff compares two spec files; drop {conflicting}"
+            )
+        from repro.experiments.history import render_sweep_diff
+
+        spec_a, spec_b = args.diff
+        diff = run_sweep_diff(
+            spec_a,
+            spec_b,
+            scale=args.scale,
+            seed=args.seed,
+            **exec_kwargs,
+        )
+        _emit(render_sweep_diff(diff), "sweep-diff", args.out)
+        return
+
+    spec, run_kwargs = _resolve_sweep_request(args)
+    if args.dump_spec is not None:
+        path = spec.save(args.dump_spec)
+        print(
+            f"(spec written to {path}; fingerprint "
+            f"{spec.fingerprint()} — run it with "
+            f"`repro sweep --spec {path}`)"
+        )
+        return
+
+    if args.adaptive:
+        from repro.experiments.adaptive import render_adaptive_summary
+
+        outcome = run_adaptive_sweep(
+            scale=args.scale,
+            seed=args.seed,
+            ci_width=args.ci_width if args.ci_width is not None else 1.0,
+            max_replicates=(
+                args.max_replicates
+                if args.max_replicates is not None
+                else 8
+            ),
+            ci_metric=(
+                args.ci_metric if args.ci_metric is not None else "miss_ratio"
+            ),
+            **exec_kwargs,
+            **run_kwargs,
+        )
+        result = outcome.result
+        text = report.render_sweep(result)
+        text += "\n\n" + render_adaptive_summary(outcome)
+    else:
+        for flag, given in (
+            ("--ci-width", args.ci_width is not None),
+            ("--max-replicates", args.max_replicates is not None),
+            ("--ci-metric", args.ci_metric is not None),
+        ):
+            if given:
+                raise ConfigurationError(
+                    f"{flag} only applies with --adaptive"
+                )
+        result = run_sweep(
+            scale=args.scale,
+            seed=args.seed,
+            **exec_kwargs,
+            **run_kwargs,
+        )
+        text = report.render_sweep(result)
     _emit(text, "sweep", args.out)
     if args.json is not None:
         path = result.save(args.json)
@@ -501,19 +596,121 @@ def _run_sweep(args) -> None:
 
 
 def _run_sweep_worker(args) -> None:
+    import os
+
     from repro.experiments.sweep_backends import run_worker
 
     def narrate(key: str, seconds: float) -> None:
         print(f"[worker] {key} (~{seconds:.1f}s)")
 
+    # The server's auto-spawned workers inherit the token through the
+    # environment (never argv — it must not show up in `ps`); the same
+    # variable serves remote workers started by hand or by an init
+    # system.
+    auth_token = args.auth_token
+    if auth_token is None:
+        auth_token = os.environ.get("REPRO_SWEEP_AUTH") or None
     completed = run_worker(
         args.connect,
         max_trials=args.max_trials,
         crash_after=args.crash_after,
         progress=narrate if args.verbose else None,
         connect_timeout=args.connect_timeout,
+        auth_token=auth_token,
     )
     print(f"(worker completed {completed} trials)")
+
+
+def _run_history(args) -> None:
+    from repro.experiments.history import (
+        find_history_entry,
+        gc_history_store,
+        list_history,
+    )
+
+    if args.history_command == "list":
+        from repro.experiments.report import _table
+
+        entries = list_history(args.store)
+        if not entries:
+            print(f"(no history entries under {args.store})")
+            return
+        rows = []
+        for entry in entries:
+            row = entry.summary_row()
+            rows.append(
+                [
+                    entry.label,
+                    str(row["root_seed"]),
+                    row["scenarios"],
+                    row["protocols"],
+                    str(row["cells"]),
+                    str(row["trials"]),
+                    "yes" if row["adaptive"] else "-",
+                ]
+            )
+        header = f"sweep history: {len(entries)} entries under {args.store}"
+        table = _table(
+            [
+                "entry",
+                "seed",
+                "scenarios",
+                "protocols",
+                "cells",
+                "trials",
+                "adaptive",
+            ],
+            rows,
+        )
+        _emit(header + "\n" + table, "history", args.out)
+    elif args.history_command == "show":
+        entry = find_history_entry(args.store, args.entry)
+        if args.json:
+            print(entry.result.to_json())
+            return
+        print(f"entry     : {entry.label}")
+        print(f"path      : {entry.path}")
+        print(f"root seed : {entry.root_seed}")
+        print(f"config    : {entry.config_digest}")
+        print(f"mode      : {json.dumps(entry.mode, sort_keys=True)}")
+        print()
+        print(report.render_sweep(entry.result))
+    elif args.history_command == "gc":
+        removed = gc_history_store(args.store, args.max_bytes)
+        print(
+            f"(removed {removed} history entries to fit "
+            f"{args.max_bytes} bytes)"
+        )
+    else:  # pragma: no cover - argparse enforces the choices
+        raise ConfigurationError(
+            f"unknown history command {args.history_command!r}"
+        )
+
+
+def _run_report(args) -> None:
+    from repro.experiments.history import find_history_entry, list_history
+    from repro.experiments.htmlreport import (
+        source_from_entry,
+        write_html_report,
+    )
+
+    if args.entries:
+        entries = [
+            find_history_entry(args.store, ref) for ref in args.entries
+        ]
+    else:
+        entries = list(list_history(args.store))
+    if not entries:
+        raise ConfigurationError(
+            f"no history entries under {args.store}; run a sweep with "
+            "--history first"
+        )
+    sources = [source_from_entry(entry) for entry in entries]
+    path = write_html_report(args.html, sources, title=args.title)
+    print(
+        f"(HTML report over {len(sources)} history entries written "
+        f"to {path})"
+    )
 
 
 def _run_node(args) -> None:
@@ -594,6 +791,30 @@ def _run_net_analyze(args) -> None:
         print(
             f"(delivery ratio {net_report.delivery_ratio:.3f} >= "
             f"{args.expect_ratio:.3f})"
+        )
+    if args.expect_converged_by is not None:
+        convergence = net_report.convergence
+        if convergence is None:
+            raise SystemExit(
+                "no ring-convergence data in the logs (need 'views' "
+                "events from every node); cannot check "
+                "--expect-converged-by"
+            )
+        if convergence.converged_at is None:
+            raise SystemExit(
+                "ring never fully converged (final completeness "
+                f"{convergence.final_completeness * 100:.1f}%); required "
+                f"within {args.expect_converged_by:.1f} s"
+            )
+        if convergence.converged_at > args.expect_converged_by:
+            raise SystemExit(
+                f"ring converged after {convergence.converged_at:.1f} s, "
+                f"later than the required "
+                f"{args.expect_converged_by:.1f} s"
+            )
+        print(
+            f"(ring converged after {convergence.converged_at:.1f} s <= "
+            f"{args.expect_converged_by:.1f} s)"
         )
 
 
@@ -881,6 +1102,68 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the aggregated sweep as canonical JSON here",
     )
     sub.add_argument(
+        "--auth-token",
+        default=None,
+        metavar="TOKEN",
+        help="socket backend: require workers to authenticate with "
+        "this shared secret (HMAC-SHA256 over every frame); workers "
+        "present it via --auth-token or $REPRO_SWEEP_AUTH",
+    )
+    sub.add_argument(
+        "--history",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="sweep history store: persist the aggregated result keyed "
+        "by spec fingerprint + config + mode, and answer an identical "
+        "re-run from the store with zero trial executions (see "
+        "docs/experiment_service.md)",
+    )
+    adaptive_group = sub.add_argument_group(
+        "adaptive replication",
+        "start from --replicates per cell, then add seed replicates "
+        "only to cells whose 95% CI is still wider than --ci-width — "
+        "deterministic, and any per-cell prefix is byte-identical to "
+        "a fixed-replicate run",
+    )
+    adaptive_group.add_argument(
+        "--adaptive",
+        action="store_true",
+        help="enable adaptive per-cell replicate allocation",
+    )
+    adaptive_group.add_argument(
+        "--ci-width",
+        type=float,
+        default=None,
+        metavar="W",
+        help="target 95%% CI width per cell, in the unit of --ci-metric "
+        "(default: 1.0)",
+    )
+    adaptive_group.add_argument(
+        "--max-replicates",
+        type=int,
+        default=None,
+        metavar="R",
+        help="hard cap on replicates per cell (default: 8)",
+    )
+    adaptive_group.add_argument(
+        "--ci-metric",
+        choices=("miss_ratio", "hops"),
+        default=None,
+        help="metric whose CI drives allocation: miss_ratio "
+        "(percentage points; default) or hops",
+    )
+    sub.add_argument(
+        "--diff",
+        nargs=2,
+        type=Path,
+        default=None,
+        metavar=("SPEC_A", "SPEC_B"),
+        help="compare two sweep-spec files cell by cell instead of "
+        "running one grid; with --history, already-run specs are pure "
+        "lookups and only missing ones execute",
+    )
+    sub.add_argument(
         "--verbose",
         action="store_true",
         help="narrate per-trial progress",
@@ -925,6 +1208,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="keep retrying a refused connection for this long — "
         "covers the race where workers start a beat before the "
         "server is listening (default: 10)",
+    )
+    sub.add_argument(
+        "--auth-token",
+        default=None,
+        metavar="TOKEN",
+        help="shared secret for servers started with --auth-token "
+        "(default: $REPRO_SWEEP_AUTH)",
     )
     sub.add_argument(
         "--verbose",
@@ -1176,7 +1466,128 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit non-zero unless every message's delivery ratio "
         "reaches RATIO (CI gate)",
     )
+    sub.add_argument(
+        "--expect-converged-by",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="exit non-zero unless the VICINITY ring reached (and "
+        "held) 100%% completeness within SECONDS of the first node "
+        "start, per the nodes' periodic 'views' events (CI gate; "
+        "mirrors the paper's Fig. 4 convergence metric)",
+    )
     sub.set_defaults(func=_run_net_analyze)
+    sub = subparsers.add_parser(
+        "history",
+        help="inspect and prune the sweep history store",
+        description=(
+            "Manage the directory 'repro sweep --history DIR' writes: "
+            "each completed sweep is one integrity-hashed JSON entry "
+            "keyed by the spec fingerprint, effective config and "
+            "execution mode. See docs/experiment_service.md."
+        ),
+    )
+    history_sub = sub.add_subparsers(
+        dest="history_command", required=True
+    )
+    hist = history_sub.add_parser(
+        "list", help="list stored sweeps, newest first"
+    )
+    hist.add_argument(
+        "--store",
+        type=Path,
+        required=True,
+        metavar="DIR",
+        help="history store directory",
+    )
+    hist.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="also write the table to DIR/history.txt",
+    )
+    hist.set_defaults(func=_run_history)
+    hist = history_sub.add_parser(
+        "show", help="print one stored sweep's aggregates"
+    )
+    hist.add_argument(
+        "entry",
+        metavar="REF",
+        help="entry reference: a prefix of the entry address or of "
+        "the spec fingerprint (see 'repro history list')",
+    )
+    hist.add_argument(
+        "--store",
+        type=Path,
+        required=True,
+        metavar="DIR",
+        help="history store directory",
+    )
+    hist.add_argument(
+        "--json",
+        action="store_true",
+        help="print the stored SweepResult as canonical JSON instead "
+        "of the table",
+    )
+    hist.set_defaults(func=_run_history)
+    hist = history_sub.add_parser(
+        "gc", help="evict oldest entries to fit a size budget"
+    )
+    hist.add_argument(
+        "--store",
+        type=Path,
+        required=True,
+        metavar="DIR",
+        help="history store directory",
+    )
+    hist.add_argument(
+        "--max-bytes",
+        type=int,
+        required=True,
+        metavar="BYTES",
+        help="target on-disk size; least-recently-used entries are "
+        "removed first (the newest entry always survives)",
+    )
+    hist.set_defaults(func=_run_history)
+    sub = subparsers.add_parser(
+        "report",
+        help="render a self-contained HTML report from sweep history",
+        description=(
+            "Build one HTML file — inline CSS and SVG only, no "
+            "network assets — over stored sweep results: per-cell "
+            "tables, per-scenario miss-ratio figures with mean-field "
+            "theory overlays where applicable, and a hardware/"
+            "provenance block. See docs/experiment_service.md."
+        ),
+    )
+    sub.add_argument(
+        "entries",
+        nargs="*",
+        metavar="REF",
+        help="history entry references (address or fingerprint "
+        "prefixes); default: every entry in the store, newest first",
+    )
+    sub.add_argument(
+        "--store",
+        type=Path,
+        required=True,
+        metavar="DIR",
+        help="history store directory",
+    )
+    sub.add_argument(
+        "--html",
+        type=Path,
+        required=True,
+        metavar="FILE",
+        help="output path for the HTML report",
+    )
+    sub.add_argument(
+        "--title",
+        default="repro experiment report",
+        help="report title (default: 'repro experiment report')",
+    )
+    sub.set_defaults(func=_run_report)
     sub = subparsers.add_parser(
         "demo", help="60-second RINGCAST vs RANDCAST demonstration"
     )

@@ -1,0 +1,437 @@
+"""Self-contained HTML reports over sweep history entries.
+
+``repro report --html`` turns one or more history entries into a single
+HTML file with zero network assets — inline CSS, inline SVG figures —
+so a report archived next to its sweep stays renderable forever,
+offline, exactly as generated.
+
+Per entry the report carries:
+
+* the per-scenario **cell tables** (the same aggregation the terminal
+  renderer shows, as real ``<table>`` markup);
+* per-slice **figures** — miss ratio against fanout, one polyline per
+  protocol, drawn as plain SVG;
+* **theory overlays** where applicable: the mean-field push-epidemic
+  miss curve (``π = 1 − exp(−F·π)``) for failure-free slices, with the
+  multi-message slices annotated against Sanghavi et al.'s analysis
+  (PAPERS.md) whose per-message dissemination the overlay describes;
+* a **provenance block** — spec fingerprint, root seed, effective-config
+  digest, run mode, adaptive accounting, plus the host hardware and
+  Python runtime that rendered the report.
+"""
+
+from __future__ import annotations
+
+import html
+import os
+import platform
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Sequence, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.experiments.history import HistoryEntry
+from repro.experiments.sweep_results import CellSummary, SweepResult, canonical_json
+from repro.metrics.theory import randcast_expected_miss_ratio
+
+__all__ = [
+    "ReportSource",
+    "render_html_report",
+    "source_from_entry",
+    "write_html_report",
+]
+
+_CSS = """
+body { font-family: -apple-system, 'Segoe UI', Roboto, sans-serif;
+       margin: 2rem auto; max-width: 62rem; color: #1a1a2e;
+       background: #fdfdfd; line-height: 1.45; }
+h1 { border-bottom: 2px solid #1f77b4; padding-bottom: .3rem; }
+h2 { margin-top: 2.2rem; color: #16325c; }
+h3 { margin-top: 1.4rem; }
+table { border-collapse: collapse; margin: .8rem 0; font-size: .85rem; }
+th, td { border: 1px solid #cdd4e0; padding: .25rem .55rem;
+         text-align: right; }
+th { background: #eef2f8; }
+td:first-child, th:first-child { text-align: left; }
+figure { margin: 1rem 0; }
+figcaption { font-size: .8rem; color: #555; }
+.provenance { background: #f4f6fa; border: 1px solid #d8dee9;
+              padding: .8rem 1rem; font-size: .85rem; border-radius: 4px; }
+.provenance code { background: #e8ecf3; padding: 0 .25rem; }
+.note { font-size: .82rem; color: #444; font-style: italic; }
+svg text { font-family: inherit; }
+"""
+
+_PALETTE = ("#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#8c564b", "#e377c2")
+
+# Theory overlays describe per-message push epidemics over a uniform
+# random overlay; they apply to failure-free slices (catastrophic kills
+# happen post-freeze, multi-message shares the same warm-up).
+_THEORY_SCENARIOS = frozenset(("static", "multi_message"))
+
+
+@dataclass(frozen=True)
+class ReportSource:
+    """One sweep going into the report, with its provenance metadata."""
+
+    label: str
+    result: SweepResult
+    meta: Mapping[str, Any] = field(default_factory=dict)
+
+
+def source_from_entry(entry: HistoryEntry) -> ReportSource:
+    """Adapt a validated history entry into a report source."""
+    meta: Dict[str, Any] = {
+        "fingerprint": entry.fingerprint,
+        "address": entry.address,
+        "root_seed": entry.root_seed,
+        "config_digest": entry.config_digest,
+        "mode": dict(entry.mode),
+        "created": entry.created,
+    }
+    if entry.adaptive is not None:
+        meta["adaptive"] = dict(entry.adaptive)
+    return ReportSource(label=entry.label, result=entry.result, meta=meta)
+
+
+# ----------------------------------------------------------------------
+# SVG figures
+# ----------------------------------------------------------------------
+
+Series = Tuple[str, Sequence[Tuple[float, float]], bool]
+
+
+def _svg_chart(
+    title: str,
+    series: Sequence[Series],
+    y_label: str = "miss %",
+    width: int = 440,
+    height: int = 280,
+) -> str:
+    """A minimal inline line chart: axes, ticks, polylines, legend."""
+    left, right, top, bottom = 52.0, 14.0, 30.0, 40.0
+    plot_w = width - left - right
+    plot_h = height - top - bottom
+    xs = [x for _label, points, _dashed in series for x, _y in points]
+    ys = [y for _label, points, _dashed in series for _x, y in points]
+    if not xs:
+        return ""
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = 0.0, max(max(ys), 1e-9)
+    y_max *= 1.08
+    if x_max == x_min:
+        x_max = x_min + 1.0
+
+    def sx(x: float) -> float:
+        return left + (x - x_min) / (x_max - x_min) * plot_w
+
+    def sy(y: float) -> float:
+        return top + plot_h - (y - y_min) / (y_max - y_min) * plot_h
+
+    parts = [
+        f'<svg viewBox="0 0 {width} {height}" width="{width}" '
+        f'height="{height}" role="img">',
+        f'<text x="{width / 2:.0f}" y="16" text-anchor="middle" '
+        f'font-size="13" font-weight="bold">{html.escape(title)}</text>',
+        f'<line x1="{left}" y1="{top}" x2="{left}" '
+        f'y2="{top + plot_h}" stroke="#333"/>',
+        f'<line x1="{left}" y1="{top + plot_h}" '
+        f'x2="{left + plot_w}" y2="{top + plot_h}" stroke="#333"/>',
+    ]
+    x_ticks = sorted({x for x in xs})
+    if len(x_ticks) > 8:
+        step = len(x_ticks) // 8 + 1
+        x_ticks = x_ticks[::step]
+    for x in x_ticks:
+        px = sx(x)
+        parts.append(
+            f'<line x1="{px:.1f}" y1="{top + plot_h}" x2="{px:.1f}" '
+            f'y2="{top + plot_h + 4}" stroke="#333"/>'
+        )
+        parts.append(
+            f'<text x="{px:.1f}" y="{top + plot_h + 16:.1f}" '
+            f'text-anchor="middle" font-size="10">{x:g}</text>'
+        )
+    for frac in (0.0, 0.25, 0.5, 0.75, 1.0):
+        y = y_min + frac * (y_max - y_min)
+        py = sy(y)
+        parts.append(
+            f'<line x1="{left - 4}" y1="{py:.1f}" x2="{left}" '
+            f'y2="{py:.1f}" stroke="#333"/>'
+        )
+        parts.append(
+            f'<text x="{left - 7}" y="{py + 3:.1f}" text-anchor="end" '
+            f'font-size="10">{y:.3g}</text>'
+        )
+    parts.append(
+        f'<text x="14" y="{top + plot_h / 2:.0f}" font-size="10" '
+        f'text-anchor="middle" transform="rotate(-90 14 '
+        f'{top + plot_h / 2:.0f})">{html.escape(y_label)}</text>'
+    )
+    parts.append(
+        f'<text x="{left + plot_w / 2:.0f}" y="{height - 6}" '
+        f'text-anchor="middle" font-size="10">fanout</text>'
+    )
+    for index, (label, points, dashed) in enumerate(series):
+        color = _PALETTE[index % len(_PALETTE)]
+        coords = " ".join(
+            f"{sx(x):.1f},{sy(y):.1f}" for x, y in sorted(points)
+        )
+        dash = ' stroke-dasharray="5,4"' if dashed else ""
+        parts.append(
+            f'<polyline points="{coords}" fill="none" '
+            f'stroke="{color}" stroke-width="1.6"{dash}/>'
+        )
+        if not dashed:
+            for x, y in points:
+                parts.append(
+                    f'<circle cx="{sx(x):.1f}" cy="{sy(y):.1f}" r="2.6" '
+                    f'fill="{color}"/>'
+                )
+        ly = top + 4 + index * 13
+        parts.append(
+            f'<line x1="{left + plot_w - 86:.1f}" y1="{ly:.1f}" '
+            f'x2="{left + plot_w - 70:.1f}" y2="{ly:.1f}" '
+            f'stroke="{color}" stroke-width="1.6"{dash}/>'
+        )
+        parts.append(
+            f'<text x="{left + plot_w - 65:.1f}" y="{ly + 3:.1f}" '
+            f'font-size="9">{html.escape(label)}</text>'
+        )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+# ----------------------------------------------------------------------
+# report assembly
+# ----------------------------------------------------------------------
+
+
+def _slice_key(cell: CellSummary) -> Tuple[Any, ...]:
+    extras = tuple(
+        (name, value)
+        for name, value in cell.params
+        if name not in ("kill_fraction", "churn_rate")
+    )
+    return (
+        cell.scenario,
+        cell.num_nodes,
+        cell.kill_fraction,
+        cell.churn_rate,
+        extras,
+    )
+
+
+def _slice_title(key: Tuple[Any, ...]) -> str:
+    scenario, num_nodes, kill, churn, extras = key
+    bits = [f"{scenario}, N={num_nodes}"]
+    if kill:
+        bits.append(f"kill={kill:g}")
+    if churn:
+        bits.append(f"churn={churn:g}")
+    for name, value in extras:
+        bits.append(f"{name}={value:g}")
+    return ", ".join(bits)
+
+
+def _cells_table(cells: Sequence[CellSummary]) -> str:
+    show_kill = any(cell.kill_fraction for cell in cells)
+    show_churn = any(cell.churn_rate for cell in cells)
+    param_names = sorted(
+        {
+            name
+            for cell in cells
+            for name, _value in cell.params
+            if name not in ("kill_fraction", "churn_rate")
+        }
+    )
+    headers = ["protocol", "N", "fanout"]
+    if show_kill:
+        headers.append("kill%")
+    if show_churn:
+        headers.append("churn%")
+    headers.extend(param_names)
+    headers.extend(
+        ["reps", "miss%", "±", "compl%", "±", "msgs", "hops"]
+    )
+    rows = []
+    for cell in cells:
+        params = dict(cell.params)
+        row: List[str] = [
+            html.escape(cell.protocol),
+            str(cell.num_nodes),
+            str(cell.fanout),
+        ]
+        if show_kill:
+            row.append(f"{cell.kill_fraction * 100:g}")
+        if show_churn:
+            row.append(f"{cell.churn_rate * 100:g}")
+        for name in param_names:
+            value = params.get(name)
+            row.append("-" if value is None else f"{value:g}")
+        row.extend(
+            [
+                str(cell.replicates),
+                f"{cell.miss_percent:.2f}",
+                f"{cell.ci95_miss_ratio * 100:.2f}",
+                f"{cell.complete_percent:.2f}",
+                f"{cell.ci95_complete_fraction * 100:.2f}",
+                f"{cell.mean_total_messages:.1f}",
+                f"{cell.mean_hops:.2f}",
+            ]
+        )
+        rows.append(row)
+    head = "".join(f"<th>{html.escape(str(h))}</th>" for h in headers)
+    body = "".join(
+        "<tr>" + "".join(f"<td>{value}</td>" for value in row) + "</tr>"
+        for row in rows
+    )
+    return f"<table><thead><tr>{head}</tr></thead><tbody>{body}</tbody></table>"
+
+
+def _slice_figure(key: Tuple[Any, ...], cells: Sequence[CellSummary]) -> str:
+    by_protocol: Dict[str, List[Tuple[float, float]]] = {}
+    for cell in cells:
+        by_protocol.setdefault(cell.protocol, []).append(
+            (float(cell.fanout), cell.miss_percent)
+        )
+    if not any(len(points) >= 2 for points in by_protocol.values()):
+        return ""
+    series: List[Series] = [
+        (protocol, points, False)
+        for protocol, points in sorted(by_protocol.items())
+    ]
+    scenario = key[0]
+    caption = ""
+    if scenario in _THEORY_SCENARIOS:
+        fanouts = sorted(
+            {x for _label, points, _d in series for x, _y in points}
+        )
+        theory = [
+            (fanout, randcast_expected_miss_ratio(fanout) * 100.0)
+            for fanout in fanouts
+        ]
+        series.append(("mean-field", theory, True))
+        caption = (
+            "Dashed: mean-field push-epidemic miss curve "
+            "(1 − π with π = 1 − e<sup>−Fπ</sup>)."
+        )
+        if scenario == "multi_message":
+            caption += (
+                " Concurrent messages disseminate independently in the "
+                "mean-field limit; see Sanghavi et al., «Gossiping with "
+                "Multiple Messages», for the coupled multi-message "
+                "analysis this bounds."
+            )
+    chart = _svg_chart(_slice_title(key), series)
+    if not chart:
+        return ""
+    figcaption = f"<figcaption>{caption}</figcaption>" if caption else ""
+    return f"<figure>{chart}{figcaption}</figure>"
+
+
+def _provenance_items(source: ReportSource) -> List[Tuple[str, str]]:
+    items: List[Tuple[str, str]] = []
+    meta = source.meta
+    for label, meta_key in (
+        ("spec fingerprint", "fingerprint"),
+        ("entry address", "address"),
+        ("root seed", "root_seed"),
+        ("config digest", "config_digest"),
+    ):
+        if meta_key in meta:
+            items.append((label, str(meta[meta_key])))
+    if "mode" in meta:
+        items.append(("run mode", canonical_json(dict(meta["mode"]))))
+    if "created" in meta:
+        stamp = time.strftime(
+            "%Y-%m-%d %H:%M:%S UTC", time.gmtime(float(meta["created"]))
+        )
+        items.append(("recorded", stamp))
+    adaptive = meta.get("adaptive")
+    if isinstance(adaptive, Mapping):
+        total = adaptive.get("total_trials")
+        fixed = adaptive.get("fixed_trials")
+        rounds = adaptive.get("rounds")
+        items.append(
+            (
+                "adaptive allocation",
+                f"{total} trials over {rounds} round(s) "
+                f"(fixed-replicate equivalent: {fixed})",
+            )
+        )
+    return items
+
+
+def _source_section(source: ReportSource) -> str:
+    parts = [f"<h2>{html.escape(source.label)}</h2>"]
+    items = _provenance_items(source)
+    if items:
+        rows = "".join(
+            f"<div><b>{html.escape(k)}:</b> <code>{html.escape(v)}</code></div>"
+            for k, v in items
+        )
+        parts.append(f'<div class="provenance">{rows}</div>')
+    result = source.result
+    slices: Dict[Tuple[Any, ...], List[CellSummary]] = {}
+    for scenario in result.scenarios():
+        scenario_cells = [
+            cell for cell in result.cells if cell.scenario == scenario
+        ]
+        parts.append(f"<h3>{html.escape(scenario)}</h3>")
+        parts.append(_cells_table(scenario_cells))
+        for cell in scenario_cells:
+            slices.setdefault(_slice_key(cell), []).append(cell)
+    for key in sorted(slices, key=str):
+        figure = _slice_figure(key, slices[key])
+        if figure:
+            parts.append(figure)
+    return "".join(parts)
+
+
+def render_html_report(
+    sources: Sequence[ReportSource],
+    title: str = "repro experiment report",
+) -> str:
+    """The complete report document as a string of HTML."""
+    if not sources:
+        raise ConfigurationError("report needs at least one sweep result")
+    generated = time.strftime("%Y-%m-%d %H:%M:%S UTC", time.gmtime())
+    host = (
+        f"{platform.python_implementation()} {platform.python_version()} "
+        f"on {platform.platform()} "
+        f"({os.cpu_count() or '?'} logical CPUs)"
+    )
+    parts = [
+        "<!DOCTYPE html>",
+        '<html lang="en"><head><meta charset="utf-8">',
+        f"<title>{html.escape(title)}</title>",
+        f"<style>{_CSS}</style></head><body>",
+        f"<h1>{html.escape(title)}</h1>",
+        '<div class="provenance">'
+        f"<div><b>generated:</b> <code>{html.escape(generated)}</code></div>"
+        f"<div><b>host:</b> <code>{html.escape(host)}</code></div>"
+        "</div>",
+    ]
+    for source in sources:
+        parts.append(_source_section(source))
+    parts.append(
+        '<p class="note">Self-contained report: inline styles and SVG '
+        "only, no network assets.</p>"
+    )
+    parts.append("</body></html>")
+    return "\n".join(parts)
+
+
+def write_html_report(
+    path: Path,
+    sources: Sequence[ReportSource],
+    title: str = "repro experiment report",
+) -> Path:
+    """Render and write the report; returns the path written."""
+    path = Path(path)
+    if path.parent and not path.parent.exists():
+        path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(render_html_report(sources, title=title), encoding="utf-8")
+    return path

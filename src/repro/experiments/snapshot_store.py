@@ -62,7 +62,7 @@ import os
 import threading
 import zlib
 from pathlib import Path
-from typing import Any, Dict, Mapping, Optional, Tuple, Union
+from typing import Any, Dict, Iterable, Mapping, Optional, Tuple, Union
 
 from repro.common.errors import ConfigurationError
 from repro.common.rng import RngRegistry, child_seed
@@ -455,16 +455,23 @@ def _write_entry(
 
 
 def gc_snapshot_store(
-    store_dir: Union[str, Path], max_bytes: int
+    store_dir: Union[str, Path],
+    max_bytes: int,
+    keep: Iterable[Union[str, Path]] = (),
 ) -> int:
     """Evict least-recently-used entries until the store fits the cap.
 
-    Entries are ranked by mtime (reads bump it, so this is
-    least-recently-*accessed*); the newest entry always survives, even
-    when it alone exceeds the cap — evicting what was just written
-    would turn the store into a no-op. Returns the number of files
-    removed. Everything is best-effort: a concurrently vanished or
-    unstatable file is simply skipped.
+    Entries are ranked by ``(mtime, filename)`` — reads bump mtime, so
+    this is least-recently-*accessed*, and the filename tie-break keeps
+    eviction deterministic on coarse-mtime or ``noatime``-style
+    filesystems where a whole burst of writes can land on one
+    timestamp. The top-ranked entry always survives, even when it alone
+    exceeds the cap — evicting what was just written would turn the
+    store into a no-op — and paths listed in ``keep`` are pinned
+    outright (the provider pins the entry it just wrote, whose
+    timestamp ties with its siblings on such filesystems). Returns the
+    number of files removed. Everything is best-effort: a concurrently
+    vanished or unstatable file is simply skipped.
     """
     try:
         paths = list(Path(store_dir).glob("overlay_*.json"))
@@ -477,13 +484,19 @@ def gc_snapshot_store(
             stat = path.stat()
         except OSError:
             continue
-        ranked.append((stat.st_mtime, stat.st_size, path))
+        ranked.append((stat.st_mtime, path.name, stat.st_size, path))
         total += stat.st_size
-    ranked.sort()
+    # Sort key deliberately excludes size and any other stat noise:
+    # ties in mtime must resolve by entry name alone so every host
+    # evicts the same files in the same order.
+    ranked.sort(key=lambda item: (item[0], item[1]))
+    pinned = {Path(p) for p in keep}
     removed = 0
-    for mtime, size, path in ranked[:-1]:  # newest always survives
+    for _mtime, _name, size, path in ranked[:-1]:  # newest always survives
         if total <= max_bytes:
             break
+        if path in pinned:
+            continue
         try:
             path.unlink()
         except OSError:
@@ -647,8 +660,8 @@ class SnapshotProvider:
             # dispatch memo.
             entry = _entry_payload(spec, config, seed, snapshot, extras)
             if self.store_dir is not None:
-                _write_entry(self.store_dir, address, entry)
-                self._collect_store()
+                written = _write_entry(self.store_dir, address, entry)
+                self._collect_store(keep=(written,))
             if self.collect_built:
                 self._built_entries.append(entry)
             self._remember_entry(address, entry)
@@ -699,13 +712,16 @@ class SnapshotProvider:
         if self.store_dir is not None and not snapshot_path(
             self.store_dir, address
         ).exists():
-            _write_entry(self.store_dir, address, dict(entry))
-            self._collect_store()
+            written = _write_entry(self.store_dir, address, dict(entry))
+            self._collect_store(keep=(written,))
         return True
 
-    def _collect_store(self) -> None:
+    def _collect_store(self, keep: Iterable[Path] = ()) -> None:
+        # The just-written entry is pinned explicitly: on coarse-mtime
+        # filesystems its timestamp can tie with older entries, and GC
+        # must never evict what the current trial is about to use.
         if self.store_dir is not None and self.max_store_bytes is not None:
-            gc_snapshot_store(self.store_dir, self.max_store_bytes)
+            gc_snapshot_store(self.store_dir, self.max_store_bytes, keep=keep)
 
     def entry_for(
         self, spec: TrialSpec, config: ExperimentConfig, root_seed: int

@@ -77,7 +77,7 @@ from repro.experiments.sweep_spec import (
     flat_spec,
 )
 
-__all__ = ["SweepGrid", "execute_jobs", "run_sweep"]
+__all__ = ["SweepGrid", "TrialListGrid", "execute_jobs", "run_sweep"]
 
 # progress(trial_key, seconds, cached) — the CLI narrates long sweeps.
 SweepProgress = Callable[[str, float, bool], None]
@@ -223,6 +223,30 @@ class SweepGrid:
         return tuple(specs)
 
 
+@dataclass(frozen=True)
+class TrialListGrid:
+    """An explicit list of trials standing in for a declarative grid.
+
+    :func:`run_sweep` only ever calls ``grid.expand()``, so any object
+    returning a trial tuple can drive the full backend/cache machinery.
+    The adaptive-replication engine uses this to execute exactly the
+    extra replicates a round allocated — each trial still derives its
+    RNG universe from ``(root_seed, spec.key)``, so results are
+    byte-identical to the same trials inside a fixed-replicate grid.
+    """
+
+    trials: Tuple[TrialSpec, ...]
+
+    def __post_init__(self) -> None:
+        if not self.trials:
+            raise ConfigurationError("TrialListGrid needs at least one trial")
+        if len(set(self.trials)) != len(self.trials):
+            raise ConfigurationError("duplicate trial in TrialListGrid")
+
+    def expand(self) -> Tuple[TrialSpec, ...]:
+        return self.trials
+
+
 # ----------------------------------------------------------------------
 # deterministic-order execution
 # ----------------------------------------------------------------------
@@ -263,14 +287,16 @@ def run_sweep(
     core: str = "auto",
     snapshot_cache_max_bytes: Optional[int] = None,
     trial_deadline: Optional[float] = None,
+    auth_token: Optional[str] = None,
 ) -> SweepResult:
     """Expand ``grid``, execute every trial, aggregate into a result.
 
     Args:
         grid: The declarative parameter grid — a legacy
-            :class:`SweepGrid` or a
+            :class:`SweepGrid`, a
             :class:`~repro.experiments.sweep_spec.SweepSpec` (same
-            expansion contract; specs additionally serialise).
+            expansion contract; specs additionally serialise), or a
+            :class:`TrialListGrid` of explicit trials.
         base_config: Template for per-trial configs (warm-up cycles,
             view sizes, churn caps...); grid axes override its
             population/fanout/message fields. Defaults to
@@ -318,6 +344,10 @@ def run_sweep(
             trial may sit unanswered on a live connection before the
             worker is dropped and the trial re-dispatched. ``None``
             keeps the backend default.
+        auth_token: Socket backend only — shared secret authenticating
+            workers and every post-hello wire frame (HMAC-SHA256).
+            Workers must present the same token or they are cleanly
+            rejected at hello time.
     """
     if overlay_reuse not in OVERLAY_REUSE_MODES:
         raise ConfigurationError(
@@ -340,7 +370,7 @@ def run_sweep(
     )
     backend_obj = resolve_backend(
         backend, workers=workers, listen=listen,
-        trial_deadline=trial_deadline,
+        trial_deadline=trial_deadline, auth_token=auth_token,
     )
     config = base_config if base_config is not None else ExperimentConfig()
     specs = grid.expand()

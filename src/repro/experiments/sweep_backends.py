@@ -42,6 +42,8 @@ process backends ship the resolved executor and have no such limit.
 
 from __future__ import annotations
 
+import hashlib
+import hmac
 import json
 import os
 import queue
@@ -83,6 +85,7 @@ from repro.experiments.sweep_results import (
 )
 
 __all__ = [
+    "AUTH_SCHEME",
     "BACKEND_NAMES",
     "DEFAULT_TRIAL_DEADLINE",
     "FRAME_DEFLATE_FLAG",
@@ -137,6 +140,34 @@ _POLL_SECONDS = 0.2
 # the largest in-repo sweep trial completes in well under a minute.
 DEFAULT_TRIAL_DEADLINE = 900.0
 
+# Optional shared-secret wire authentication. The worker proves token
+# knowledge inside its hello (HMAC over the hello body), and once both
+# sides agree, every later frame carries an HMAC-SHA256 tag over its
+# (possibly deflated) body. Hello and reject frames stay plain so a
+# mis-tokened peer can always be turned away with a readable reason
+# instead of a hang.
+AUTH_SCHEME = "hmac-sha256"
+_AUTH_TAG_BYTES = 32
+_AUTH_HELLO_CONTEXT = b"repro-sweep-hello:"
+_AUTH_FRAME_CONTEXT = b"repro-sweep-frame:"
+
+
+def _frame_auth_key(token: str) -> bytes:
+    """The per-frame MAC key derived from the shared token."""
+    return hashlib.sha256(
+        _AUTH_FRAME_CONTEXT + token.encode("utf-8")
+    ).digest()
+
+
+def _hello_proof(token: str, hello: Mapping[str, Any]) -> str:
+    """HMAC proof binding the token to the hello body (minus itself)."""
+    body = {k: v for k, v in hello.items() if k != "auth"}
+    return hmac.new(
+        token.encode("utf-8"),
+        _AUTH_HELLO_CONTEXT + canonical_json(body).encode("utf-8"),
+        hashlib.sha256,
+    ).hexdigest()
+
 
 class ProtocolError(RuntimeError):
     """The socket wire format was violated (bad frame, bad message)."""
@@ -161,7 +192,9 @@ class SweepWorkerError(RuntimeError):
 
 
 def encode_frame(
-    message: Mapping[str, Any], compress: bool = False
+    message: Mapping[str, Any],
+    compress: bool = False,
+    auth_key: Optional[bytes] = None,
 ) -> bytes:
     """Serialise one protocol message into a length-prefixed frame.
 
@@ -169,6 +202,10 @@ def encode_frame(
     and the length word carries :data:`FRAME_DEFLATE_FLAG` — only send
     compressed frames to peers that advertised the ``deflate``
     capability; everyone decodes plain frames.
+
+    With ``auth_key``, an HMAC-SHA256 tag over the final (possibly
+    deflated) body is appended and covered by the length word — only
+    for peers that negotiated authentication at hello time.
     """
     body = canonical_json(dict(message)).encode("utf-8")
     if len(body) > MAX_FRAME_BYTES:
@@ -176,14 +213,15 @@ def encode_frame(
             f"frame of {len(body)} bytes exceeds the "
             f"{MAX_FRAME_BYTES}-byte limit"
         )
+    flags = 0
     if compress and len(body) >= _DEFLATE_MIN_BYTES:
         deflated = zlib.compress(body, 6)
         if len(deflated) < len(body):
-            return (
-                _HEADER.pack(len(deflated) | FRAME_DEFLATE_FLAG)
-                + deflated
-            )
-    return _HEADER.pack(len(body)) + body
+            body = deflated
+            flags = FRAME_DEFLATE_FLAG
+    if auth_key is not None:
+        body += hmac.new(auth_key, body, hashlib.sha256).digest()
+    return _HEADER.pack(len(body) | flags) + body
 
 
 class FrameDecoder:
@@ -192,10 +230,18 @@ class FrameDecoder:
     TCP has no message boundaries, so the decoder buffers partial
     frames across :meth:`feed` calls; any chunking of the byte stream
     decodes to the same message sequence (property-tested).
+
+    Setting :attr:`auth_key` (after an authenticated hello exchange)
+    makes every subsequent frame require a valid trailing HMAC tag.
+    :attr:`allow_plain_reject` additionally lets an *unauthenticated*
+    ``reject`` message through — the one server message a worker whose
+    token the server refused can still legitimately receive.
     """
 
     def __init__(self) -> None:
         self._buffer = bytearray()
+        self.auth_key: Optional[bytes] = None
+        self.allow_plain_reject = False
 
     def feed(self, data: bytes) -> List[Dict[str, Any]]:
         """Absorb ``data``; return every now-complete message."""
@@ -217,19 +263,47 @@ class FrameDecoder:
                 self._buffer[_HEADER.size : _HEADER.size + length]
             )
             del self._buffer[: _HEADER.size + length]
+            authenticated = True
+            if self.auth_key is not None:
+                stripped = self._strip_auth(body)
+                if stripped is None:
+                    authenticated = False
+                else:
+                    body = stripped
             if deflated:
                 body = self._inflate(body)
             try:
                 message = json.loads(body.decode("utf-8"))
             except (UnicodeDecodeError, ValueError) as exc:
+                if not authenticated:
+                    raise ProtocolError("frame authentication failed")
                 raise ProtocolError(f"undecodable frame body: {exc}")
             if not isinstance(message, dict):
                 raise ProtocolError(
                     f"frame body must be a JSON object, got "
                     f"{type(message).__name__}"
                 )
+            # A server that refused our token cannot MAC its terminal
+            # control frames; letting them through plain only enables
+            # what a bare connection reset already could.
+            if not authenticated and not (
+                self.allow_plain_reject
+                and message.get("type") in ("reject", "shutdown")
+            ):
+                raise ProtocolError("frame authentication failed")
             messages.append(message)
         return messages
+
+    def _strip_auth(self, body: bytes) -> Optional[bytes]:
+        """``body`` minus a valid trailing tag, or ``None`` if invalid."""
+        assert self.auth_key is not None
+        if len(body) < _AUTH_TAG_BYTES:
+            return None
+        payload, tag = body[:-_AUTH_TAG_BYTES], body[-_AUTH_TAG_BYTES:]
+        expected = hmac.new(self.auth_key, payload, hashlib.sha256)
+        if not hmac.compare_digest(expected.digest(), tag):
+            return None
+        return payload
 
     @staticmethod
     def _inflate(body: bytes) -> bytes:
@@ -658,7 +732,9 @@ class _ServerState:
         root_seed: int,
         provider: Optional[SnapshotProvider] = None,
         core: str = "auto",
+        auth_token: Optional[str] = None,
     ) -> None:
+        self.auth_token = auth_token
         self.jobs: "queue.Queue[Tuple[int, TrialSpec]]" = queue.Queue()
         for item in pending:
             self.jobs.put(item)
@@ -715,6 +791,12 @@ class SocketWorkerBackend(SweepBackend):
             unanswered before the worker is declared stalled, its
             connection dropped, and the trial re-dispatched — the
             live-but-stuck counterpart of the crash re-dispatch path.
+        auth_token: Optional shared secret. Workers must prove token
+            knowledge in their hello (HMAC-SHA256) and every post-hello
+            frame in both directions then carries an HMAC tag;
+            mis-tokened workers are turned away with a plain ``reject``
+            instead of hanging. Spawned local workers inherit the token
+            through the ``REPRO_SWEEP_AUTH`` environment variable.
 
     Workers may join and leave at any time; a worker that disconnects
     with a trial in flight gets that trial re-dispatched to another
@@ -738,6 +820,7 @@ class SocketWorkerBackend(SweepBackend):
         idle_timeout: float = 120.0,
         max_respawns: Optional[int] = None,
         trial_deadline: float = DEFAULT_TRIAL_DEADLINE,
+        auth_token: Optional[str] = None,
     ) -> None:
         if trial_deadline <= 0:
             raise ConfigurationError(
@@ -767,6 +850,7 @@ class SocketWorkerBackend(SweepBackend):
             max_respawns if max_respawns is not None else 2 * workers
         )
         self.trial_deadline = trial_deadline
+        self.auth_token = auth_token
         self.address: Optional[Tuple[str, int]] = None
         self._listening = threading.Event()
 
@@ -809,6 +893,9 @@ class SocketWorkerBackend(SweepBackend):
             for part in (package_root, env.get("PYTHONPATH", ""))
             if part
         )
+        if self.auth_token is not None:
+            # Environment, not argv: tokens must not show up in `ps`.
+            env["REPRO_SWEEP_AUTH"] = self.auth_token
         return subprocess.Popen(
             self._worker_command(extra),
             stdout=subprocess.DEVNULL,
@@ -853,6 +940,7 @@ class SocketWorkerBackend(SweepBackend):
         registered = False
         decoder = FrameDecoder()
         inbox: List[Dict[str, Any]] = []
+        auth_key: Optional[bytes] = None
         try:
             _enable_keepalive(conn)
             # Handshake deadline: a stray connection that never speaks
@@ -876,6 +964,53 @@ class SocketWorkerBackend(SweepBackend):
                     )
                 )
                 return
+            # Authentication is negotiated strictly: a token on exactly
+            # one side is a deployment error surfaced as a readable
+            # reject, never a hang or a silently-unauthenticated sweep.
+            auth = hello.get("auth")
+            if state.auth_token is None:
+                if auth is not None:
+                    conn.sendall(
+                        encode_frame(
+                            {
+                                "type": "reject",
+                                "reason": (
+                                    "worker sent an auth token but this "
+                                    "sweep runs without --auth-token"
+                                ),
+                            }
+                        )
+                    )
+                    return
+            else:
+                if (
+                    not isinstance(auth, dict)
+                    or auth.get("scheme") != AUTH_SCHEME
+                ):
+                    conn.sendall(
+                        encode_frame(
+                            {
+                                "type": "reject",
+                                "reason": (
+                                    "this sweep requires --auth-token "
+                                    f"({AUTH_SCHEME})"
+                                ),
+                            }
+                        )
+                    )
+                    return
+                expected = _hello_proof(state.auth_token, hello)
+                if not hmac.compare_digest(
+                    str(auth.get("proof", "")), expected
+                ):
+                    conn.sendall(
+                        encode_frame(
+                            {"type": "reject", "reason": "auth token mismatch"}
+                        )
+                    )
+                    return
+                auth_key = _frame_auth_key(state.auth_token)
+                decoder.auth_key = auth_key
             if state.needs_array_core and not hello.get("array_core"):
                 # A core-oblivious worker would run array-core trials
                 # on the object core — different numbers depending on
@@ -955,12 +1090,16 @@ class SocketWorkerBackend(SweepBackend):
                         message["snapshot_entry"] = entry
                 try:
                     try:
-                        frame = encode_frame(message, compress=deflate)
+                        frame = encode_frame(
+                            message, compress=deflate, auth_key=auth_key
+                        )
                     except ProtocolError:
                         # Snapshot too large for a frame: ship the bare
                         # trial; the worker just rebuilds the overlay.
                         message.pop("snapshot_entry", None)
-                        frame = encode_frame(message, compress=deflate)
+                        frame = encode_frame(
+                            message, compress=deflate, auth_key=auth_key
+                        )
                     conn.sendall(frame)
                     reply = self._await_reply(conn, decoder, inbox, state)
                 except (OSError, ConnectionError, ProtocolError):
@@ -1011,7 +1150,9 @@ class SocketWorkerBackend(SweepBackend):
                 with state.lock:
                     state.active_handlers -= 1
             try:
-                conn.sendall(encode_frame({"type": "shutdown"}))
+                conn.sendall(
+                    encode_frame({"type": "shutdown"}, auth_key=auth_key)
+                )
             except OSError:
                 pass
             try:
@@ -1075,7 +1216,10 @@ class SocketWorkerBackend(SweepBackend):
     ) -> None:
         if not pending:
             return
-        state = _ServerState(pending, config, root_seed, provider, core)
+        state = _ServerState(
+            pending, config, root_seed, provider, core,
+            auth_token=self.auth_token,
+        )
         server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         try:
@@ -1236,6 +1380,7 @@ def run_worker(
     crash_after: Optional[int] = None,
     progress: Optional[Callable[[str, float], None]] = None,
     connect_timeout: float = 10.0,
+    auth_token: Optional[str] = None,
 ) -> int:
     """Serve one sweep as a worker: connect, run trials, report results.
 
@@ -1258,6 +1403,12 @@ def run_worker(
     build itself are shipped back with the result
     (``snapshot_entries``) so the server can hand them to the trial's
     siblings.
+
+    With ``auth_token`` the hello carries an HMAC-SHA256 proof of the
+    shared secret and every post-hello frame in both directions is
+    tagged. A server refusing the token (or running without one) sends
+    a plain ``reject``, which the worker honours as a graceful exit —
+    mismatched tokens never hang either side.
     """
     endpoint = (
         parse_endpoint(connect) if isinstance(connect, str) else connect
@@ -1272,18 +1423,30 @@ def run_worker(
         # without a FIN, exit within ~a minute instead of holding the
         # process in recv for the kernel-default hours.
         _enable_keepalive(conn)
-        conn.sendall(
-            encode_frame(
-                {
-                    "type": "hello",
-                    "format": WIRE_FORMAT,
-                    "snapshots": True,
-                    "array_core": True,
-                    "deflate": True,
-                }
-            )
-        )
+        hello: Dict[str, Any] = {
+            "type": "hello",
+            "format": WIRE_FORMAT,
+            "snapshots": True,
+            "array_core": True,
+            "deflate": True,
+        }
+        auth_key: Optional[bytes] = None
+        if auth_token is not None:
+            hello["auth"] = {
+                "scheme": AUTH_SCHEME,
+                "proof": _hello_proof(auth_token, hello),
+            }
+            auth_key = _frame_auth_key(auth_token)
+        # The hello itself is always plain — the server can only verify
+        # tags after reading the proof inside it.
+        conn.sendall(encode_frame(hello))
         decoder = FrameDecoder()
+        if auth_key is not None:
+            decoder.auth_key = auth_key
+            # The one legitimate unauthenticated server message left is
+            # a terminal reject/shutdown (token refused before the
+            # server had a key to MAC with).
+            decoder.allow_plain_reject = True
         inbox: List[Dict[str, Any]] = []
         while True:
             try:
@@ -1346,7 +1509,8 @@ def run_worker(
                             "type": "error",
                             "job": message["job"],
                             "error": f"{type(exc).__name__}: {exc}",
-                        }
+                        },
+                        auth_key=auth_key,
                     )
                 )
                 return completed
@@ -1362,12 +1526,16 @@ def run_worker(
                 if built:
                     payload["snapshot_entries"] = built
             try:
-                frame = encode_frame(payload, compress=deflate)
+                frame = encode_frame(
+                    payload, compress=deflate, auth_key=auth_key
+                )
             except ProtocolError:
                 # Overlay too large for a frame: still report the
                 # result; siblings will rebuild instead of reusing.
                 payload.pop("snapshot_entries", None)
-                frame = encode_frame(payload, compress=deflate)
+                frame = encode_frame(
+                    payload, compress=deflate, auth_key=auth_key
+                )
             conn.sendall(frame)
             completed += 1
             if progress is not None:
@@ -1386,18 +1554,32 @@ def resolve_backend(
     workers: int = 1,
     listen: Optional[Tuple[str, int]] = None,
     trial_deadline: Optional[float] = None,
+    auth_token: Optional[str] = None,
 ) -> SweepBackend:
     """Turn a backend name (or ``None`` for the historical default)
     into a configured :class:`SweepBackend` instance.
 
     ``None`` preserves the pre-backend behaviour: inline at
-    ``workers=1``, a local process pool otherwise. ``listen`` and
-    ``trial_deadline`` only apply to the socket backend.
+    ``workers=1``, a local process pool otherwise. ``listen``,
+    ``trial_deadline`` and ``auth_token`` only apply to the socket
+    backend; a token with any other backend is a configuration error
+    (silently ignoring it would fake security).
     """
     if isinstance(backend, SweepBackend):
+        if auth_token is not None and not isinstance(
+            backend, SocketWorkerBackend
+        ):
+            raise ConfigurationError(
+                "auth_token only applies to the socket backend"
+            )
         return backend
     if backend is None:
         backend = "inline" if workers == 1 else "process"
+    if auth_token is not None and backend != "socket":
+        raise ConfigurationError(
+            "auth_token only applies to the socket backend, got "
+            f"backend={backend!r}"
+        )
     if backend == "inline":
         return InlineBackend()
     if backend == "process":
@@ -1411,6 +1593,7 @@ def resolve_backend(
                 if trial_deadline is not None
                 else DEFAULT_TRIAL_DEADLINE
             ),
+            auth_token=auth_token,
         )
     raise ConfigurationError(
         f"unknown sweep backend {backend!r}; expected one of "

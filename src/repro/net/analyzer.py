@@ -32,8 +32,15 @@ from repro.common.errors import ConfigurationError
 from repro.dissemination.executor import disseminate
 from repro.dissemination.policies import policy_for_snapshot
 from repro.dissemination.snapshot import OverlaySnapshot
+from repro.graphs.analysis import ring_agreement
 
-__all__ = ["NetRunReport", "analyze_run", "render_net_report"]
+__all__ = [
+    "ConvergenceReport",
+    "NetRunReport",
+    "analyze_run",
+    "render_net_report",
+    "ring_convergence",
+]
 
 
 @dataclass
@@ -65,6 +72,36 @@ class MessageReport:
         return obj
 
 
+@dataclass(frozen=True)
+class ConvergenceReport:
+    """Ring completeness over time, reconstructed from ``views`` events.
+
+    The live-network counterpart of the sim-side
+    :func:`~repro.experiments.convergence.measure_ring_convergence`
+    (the paper's Fig. 4): at each reported overlay change, every node's
+    deterministic links are compared against the ground-truth ring (the
+    population ordered by ring ID), using the same exact-match
+    :func:`~repro.graphs.analysis.ring_agreement` the sim probe uses.
+    Timestamps are seconds since the earliest ``start`` event.
+    """
+
+    population: int
+    samples: Tuple[Tuple[float, float], ...]
+    converged_at: Optional[float]
+
+    @property
+    def final_completeness(self) -> float:
+        return self.samples[-1][1] if self.samples else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "population": self.population,
+            "samples": [[ts, value] for ts, value in self.samples],
+            "converged_at": self.converged_at,
+            "final_completeness": self.final_completeness,
+        }
+
+
 @dataclass
 class NetRunReport:
     """Whole-run summary across every published message."""
@@ -73,6 +110,7 @@ class NetRunReport:
     population: int
     node_ids: List[int]
     messages: List[MessageReport] = field(default_factory=list)
+    convergence: Optional[ConvergenceReport] = None
 
     @property
     def delivery_ratio(self) -> float:
@@ -81,13 +119,16 @@ class NetRunReport:
         return min(m.delivery_ratio for m in self.messages)
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        obj: Dict[str, Any] = {
             "log_dir": self.log_dir,
             "population": self.population,
             "node_ids": sorted(self.node_ids),
             "delivery_ratio": self.delivery_ratio,
             "messages": [m.to_dict() for m in self.messages],
         }
+        if self.convergence is not None:
+            obj["convergence"] = self.convergence.to_dict()
+        return obj
 
 
 def _load_events(log_dir: Path) -> Dict[int, List[dict]]:
@@ -153,6 +194,74 @@ def _snapshot_at(
     )
 
 
+def ring_convergence(
+    events: Dict[int, List[dict]],
+) -> Optional[ConvergenceReport]:
+    """Ring completeness over time from per-node ``views`` events.
+
+    Returns ``None`` when the logs carry no usable overlay telemetry —
+    no ``views`` events, or nodes without a ``start`` event to read
+    their ring ID from (ring order would be undefined).
+    """
+    ring_ids: Dict[int, int] = {}
+    views: Dict[int, List[Tuple[float, Tuple[int, ...]]]] = {}
+    for node_id, node_events in events.items():
+        for record in node_events:
+            if record.get("event") == "start":
+                ring_ids[node_id] = int(record.get("ring_id", 0))
+            elif record.get("event") == "views":
+                views.setdefault(node_id, []).append(
+                    (
+                        float(record["ts"]),
+                        tuple(int(p) for p in record.get("dlinks", ())),
+                    )
+                )
+    if not views or set(events) - set(ring_ids):
+        return None
+    for series in views.values():
+        series.sort(key=lambda item: item[0])
+    # Ground truth mirrors Network.sorted_ring(): population ordered by
+    # ring ID (node ID untying, as IDs are unique in practice).
+    true_ring = [
+        node for node in sorted(events, key=lambda n: (ring_ids[n], n))
+    ]
+    start_ts = min(
+        (
+            record["ts"]
+            for node_events in events.values()
+            for record in node_events
+            if record.get("event") == "start" and "ts" in record
+        ),
+        default=min(series[0][0] for series in views.values()),
+    )
+    timeline = sorted({ts for series in views.values() for ts, _links in series})
+    samples: List[Tuple[float, float]] = []
+    cursor: Dict[int, Tuple[int, ...]] = {}
+    positions = {node: 0 for node in views}
+    for ts in timeline:
+        for node, series in views.items():
+            index = positions[node]
+            while index < len(series) and series[index][0] <= ts:
+                cursor[node] = series[index][1]
+                index += 1
+            positions[node] = index
+        samples.append(
+            (ts - start_ts, ring_agreement(cursor, true_ring))
+        )
+    converged_at: Optional[float] = None
+    for offset, completeness in samples:
+        if completeness == 1.0:
+            if converged_at is None:
+                converged_at = offset
+        else:
+            converged_at = None  # regressed: convergence must be sustained
+    return ConvergenceReport(
+        population=len(true_ring),
+        samples=tuple(samples),
+        converged_at=converged_at,
+    )
+
+
 def _predict(
     snapshot: OverlaySnapshot,
     origin: int,
@@ -199,7 +308,10 @@ def analyze_run(
     node_ids = sorted(events.keys())
     population = len(node_ids)
     report = NetRunReport(
-        log_dir=str(log_dir), population=population, node_ids=node_ids
+        log_dir=str(log_dir),
+        population=population,
+        node_ids=node_ids,
+        convergence=ring_convergence(events),
     )
 
     protocols: Dict[int, str] = {}
@@ -285,6 +397,19 @@ def render_net_report(report: NetRunReport) -> str:
         f"live-network run: {report.log_dir}",
         f"  population: {report.population} nodes",
     ]
+    if report.convergence is not None:
+        conv = report.convergence
+        if conv.converged_at is not None:
+            verdict = f"ring complete after {conv.converged_at:.1f} s"
+        else:
+            verdict = (
+                f"ring never fully complete "
+                f"(final {conv.final_completeness * 100:.1f}%)"
+            )
+        lines.append(
+            f"  ring convergence: {verdict} "
+            f"({len(conv.samples)} overlay samples)"
+        )
     if not report.messages:
         lines.append("  no published messages found")
         return "\n".join(lines)

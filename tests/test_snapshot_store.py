@@ -1032,6 +1032,82 @@ class TestStoreSizeCap:
         assert paths[0].name in surviving
         assert paths[1].name not in surviving
 
+    def test_gc_breaks_mtime_ties_deterministically(self, tmp_path):
+        """Coarse-mtime filesystems collapse timestamps: the rank must
+        fall back to the entry filename so eviction stays deterministic
+        and the lexicographically-greatest entry plays 'newest'."""
+        import os
+
+        from repro.experiments.snapshot_store import gc_snapshot_store
+
+        paths = self._fill(tmp_path, 4)
+        for path in paths:
+            os.utime(path, (1_000_000, 1_000_000))  # all tied
+        survivors_a = None
+        gc_snapshot_store(tmp_path, 1)
+        survivors_a = sorted(p.name for p in paths if p.exists())
+        # Only the greatest filename survives — on every run.
+        assert survivors_a == [paths[-1].name]
+
+    def test_gc_with_tied_mtimes_never_evicts_fresh_write(self, tmp_path):
+        """The entry just written must survive its own collection pass
+        even when the filesystem hands every entry the same mtime."""
+        import os
+
+        from repro.experiments.snapshot_store import gc_snapshot_store
+
+        paths = self._fill(tmp_path, 3)
+        for path in paths:
+            os.utime(path, (1_000_000, 1_000_000))
+        # paths[0] sorts first by name, so without the pin it would be
+        # evicted — exactly what happened to fresh writes on coarse
+        # filesystems before the keep parameter existed.
+        gc_snapshot_store(tmp_path, 1, keep=(paths[0],))
+        assert paths[0].exists()
+        assert not paths[1].exists()
+
+    def test_provider_pins_fresh_write_under_tied_mtimes(
+        self, tmp_path, monkeypatch
+    ):
+        """End to end: a provider on a coarse-mtime filesystem (every
+        entry lands on one shared timestamp) still keeps the snapshot
+        it just stored when the cap forces a collection."""
+        import os
+
+        from repro.experiments import snapshot_store
+
+        real_write = snapshot_store._write_entry
+        written = []
+
+        def coarse_write(store_dir, key, entry):
+            path = real_write(store_dir, key, entry)
+            # Collapse timestamps the instant the entry exists, so the
+            # collection pass that follows sees nothing but ties.
+            for sibling in Path(store_dir).glob("*.json"):
+                os.utime(sibling, (1_000_000, 1_000_000))
+            written.append(path)
+            return path
+
+        monkeypatch.setattr(snapshot_store, "_write_entry", coarse_write)
+        provider = SnapshotProvider(store_dir=tmp_path, max_store_bytes=1)
+        config = trial_config(spec_for(num_nodes=40), GOLDEN_BASE, 11)
+        for index in range(3):
+            spec = spec_for(num_nodes=40, replicate=index)
+            provider.acquire(
+                spec,
+                config,
+                11,
+                RngRegistry(child_seed(11, spec.key)),
+                lambda s, c, registry: _build_static_overlay(
+                    s, c, registry
+                ),
+            )
+            remaining = list(tmp_path.glob("*.json"))
+            assert remaining == [written[-1]], (
+                "the entry a build just wrote must survive its own "
+                "collection pass"
+            )
+
     def test_provider_enforces_cap_after_builds(self, tmp_path):
         provider = SnapshotProvider(
             store_dir=tmp_path, max_store_bytes=1
