@@ -43,7 +43,7 @@ from repro.experiments.sweep import SweepGrid
 from repro.experiments.sweep_results import SweepResult
 from repro.experiments.sweep_spec import SweepSpec
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "DisseminationResult",

@@ -713,6 +713,44 @@ def _run_report(args) -> None:
     )
 
 
+def _build_fault_profile(args):
+    """Fault profile from ``repro node`` flags and/or a profile file.
+
+    Flags override the *default link* of the file's profile; per-link
+    overrides in the file are kept as-is.
+    """
+    from dataclasses import replace
+
+    from repro.net.faults import (
+        FaultProfile,
+        LinkFaults,
+        load_fault_profile,
+        parse_latency_spec,
+    )
+
+    profile = (
+        load_fault_profile(args.fault_profile)
+        if args.fault_profile is not None
+        else None
+    )
+    overrides = {}
+    if args.loss is not None:
+        overrides["loss"] = args.loss
+    if args.latency_ms is not None:
+        overrides["latency"] = parse_latency_spec(args.latency_ms)
+    if args.duplicate is not None:
+        overrides["duplicate"] = args.duplicate
+    if args.reorder is not None:
+        overrides["reorder"] = args.reorder
+    if overrides:
+        base = profile.default if profile is not None else LinkFaults()
+        profile = FaultProfile(
+            default=replace(base, **overrides),
+            links=profile.links if profile is not None else {},
+        )
+    return profile
+
+
 def _run_node(args) -> None:
     import asyncio
 
@@ -739,15 +777,20 @@ def _run_node(args) -> None:
         pull_period=args.pull_period,
         join_retries=args.join_retries,
         log_dir=args.log_dir,
+        log_append=args.log_append,
         run_for=args.run_for,
         seed=args.seed,
         node_id=args.node_id,
         ring_id=args.ring_id,
         publish_after=args.publish_after,
         publish_payload=args.publish_payload,
+        faults=_build_fault_profile(args),
+        fault_seed=args.fault_seed,
+        shuffle_timeout=args.shuffle_timeout,
+        addr_ttl=args.addr_ttl,
     )
     try:
-        asyncio.run(run_node(config))
+        asyncio.run(run_node(config, install_signal_handlers=True))
     except KeyboardInterrupt:
         pass
 
@@ -760,8 +803,41 @@ def _run_net_send(args) -> None:
         args.payload,
         timeout=args.timeout,
         retries=args.retries,
+        jitter=args.jitter,
     )
     print(f"(published {msg_id} via {args.to})")
+
+
+def _run_fleet(args) -> None:
+    from repro.net.analyzer import render_net_report
+    from repro.net.fleet import load_fleet_scenario, run_fleet
+
+    scenario = load_fleet_scenario(args.scenario)
+    result = run_fleet(
+        scenario,
+        log_dir=args.log_dir,
+        mode=args.mode,
+        analyze=not args.no_analyze,
+        sim_trials=args.sim_trials,
+        sim_seed=args.sim_seed,
+        settle=args.settle,
+    )
+    print(
+        f"fleet run: {scenario.nodes} nodes for {scenario.duration:.1f} s "
+        f"({result.mode} mode), {len(result.events)} scripted events"
+    )
+    if result.lifetime_hist:
+        realized = sum(result.lifetime_hist.values())
+        print(f"  realized up-intervals: {realized} (histogram in --json)")
+    if result.report is not None:
+        print(render_net_report(result.report))
+    if args.json is not None:
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(
+            json.dumps(result.to_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"(fleet result written to {args.json})")
 
 
 def _run_net_analyze(args) -> None:
@@ -791,6 +867,20 @@ def _run_net_analyze(args) -> None:
         print(
             f"(delivery ratio {net_report.delivery_ratio:.3f} >= "
             f"{args.expect_ratio:.3f})"
+        )
+    if args.expect_push_ratio_below is not None:
+        if net_report.push_delivery_ratio >= args.expect_push_ratio_below:
+            raise SystemExit(
+                f"push-only delivery ratio "
+                f"{net_report.push_delivery_ratio:.3f} not below "
+                f"{args.expect_push_ratio_below:.3f} — the impairment "
+                f"did not bite, so this run cannot demonstrate pull "
+                f"recovery"
+            )
+        print(
+            f"(push-only ratio {net_report.push_delivery_ratio:.3f} < "
+            f"{args.expect_push_ratio_below:.3f}; pull closed the gap "
+            f"to {net_report.delivery_ratio:.3f})"
         )
     if args.expect_converged_by is not None:
         convergence = net_report.convergence
@@ -1375,6 +1465,75 @@ def build_parser() -> argparse.ArgumentParser:
         default="hello",
         help="payload for --publish-after (default: hello)",
     )
+    sub.add_argument(
+        "--log-append",
+        action="store_true",
+        help="append to an existing event log instead of truncating "
+        "(restarted fleet incarnations keep one log per identity)",
+    )
+    sub.add_argument(
+        "--loss",
+        type=float,
+        default=None,
+        metavar="P",
+        help="drop each outgoing datagram with probability P "
+        "(deterministic per link given the fault seed)",
+    )
+    sub.add_argument(
+        "--latency-ms",
+        default=None,
+        metavar="LO:HI",
+        help="delay each outgoing datagram uniformly in [LO, HI] "
+        "milliseconds (a bare MS means a fixed delay)",
+    )
+    sub.add_argument(
+        "--duplicate",
+        type=float,
+        default=None,
+        metavar="P",
+        help="send each outgoing datagram twice with probability P",
+    )
+    sub.add_argument(
+        "--reorder",
+        type=float,
+        default=None,
+        metavar="P",
+        help="hold back each outgoing datagram (behind later traffic) "
+        "with probability P",
+    )
+    sub.add_argument(
+        "--fault-profile",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="JSON fault profile (default link + per-endpoint "
+        "overrides); --loss/--latency-ms/--duplicate/--reorder "
+        "override its default link",
+    )
+    sub.add_argument(
+        "--fault-seed",
+        type=int,
+        default=None,
+        help="seed of the fault-decision streams; the same seed "
+        "reproduces every drop/delay/duplicate decision bit-for-bit "
+        "(default: derived from the node identity)",
+    )
+    sub.add_argument(
+        "--shuffle-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="abort a pending CYCLON shuffle after this long without "
+        "a response (default: max(5 * gossip period, 2))",
+    )
+    sub.add_argument(
+        "--addr-ttl",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="evict address-book entries not refreshed by gossip for "
+        "this long; 0 disables eviction (default: 60)",
+    )
     sub.set_defaults(func=_run_node)
     sub = subparsers.add_parser(
         "net-send",
@@ -1407,7 +1566,84 @@ def build_parser() -> argparse.ArgumentParser:
         default=5,
         help="publish attempts before giving up (default: 5)",
     )
+    sub.add_argument(
+        "--jitter",
+        type=float,
+        default=0.25,
+        metavar="FRACTION",
+        help="each retry waits an extra random [0, FRACTION*timeout) "
+        "seconds so concurrent senders desynchronize; 0 disables "
+        "(default: 0.25)",
+    )
     sub.set_defaults(func=_run_net_send)
+    sub = subparsers.add_parser(
+        "fleet",
+        help="run a scripted churn/fault fleet of live nodes",
+        description=(
+            "Launch a local cluster of repro node instances from one "
+            "JSON scenario: scripted kill/restart/join events and "
+            "publishes at absolute times, optional Poisson-lifetime "
+            "churn, optional deterministic packet loss/latency/"
+            "duplication via a fault profile. Collects the JSONL logs "
+            "and runs the net-analyze report over them. See "
+            "docs/live_network.md."
+        ),
+    )
+    sub.add_argument(
+        "scenario",
+        type=Path,
+        metavar="SCENARIO.json",
+        help="fleet scenario file",
+    )
+    sub.add_argument(
+        "--log-dir",
+        type=Path,
+        required=True,
+        metavar="DIR",
+        help="directory for the per-node JSONL event logs",
+    )
+    sub.add_argument(
+        "--mode",
+        choices=("process", "inline"),
+        default="process",
+        help="process: one subprocess per node (default); inline: "
+        "all nodes in the supervisor's asyncio loop (fast, for tests)",
+    )
+    sub.add_argument(
+        "--sim-trials",
+        type=int,
+        default=50,
+        help="simulated disseminations for the analyzer prediction "
+        "(default: 50)",
+    )
+    sub.add_argument(
+        "--sim-seed",
+        type=int,
+        default=1,
+        help="RNG seed of the prediction runs (default: 1)",
+    )
+    sub.add_argument(
+        "--settle",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="extra grace period after the scenario window before "
+        "teardown (default: 0)",
+    )
+    sub.add_argument(
+        "--no-analyze",
+        action="store_true",
+        help="skip the net-analyze pass (collect logs only)",
+    )
+    sub.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="write the fleet result (events, lifetime histogram, "
+        "analyzer report) as JSON here",
+    )
+    sub.set_defaults(func=_run_fleet)
     sub = subparsers.add_parser(
         "net-analyze",
         help="delivery/hop/overhead report from live-node logs",
@@ -1465,6 +1701,16 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="RATIO",
         help="exit non-zero unless every message's delivery ratio "
         "reaches RATIO (CI gate)",
+    )
+    sub.add_argument(
+        "--expect-push-ratio-below",
+        type=float,
+        default=None,
+        metavar="RATIO",
+        help="exit non-zero unless some message's push-only delivery "
+        "ratio is below RATIO — proves the impairment actually cost "
+        "push deliveries, so a perfect overall ratio demonstrates "
+        "pull recovery (CI gate; the live Figs. 9/11 mirror)",
     )
     sub.add_argument(
         "--expect-converged-by",

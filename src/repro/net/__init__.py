@@ -14,16 +14,36 @@ See ``docs/live_network.md`` for lifecycle, wire format and tuning.
 """
 
 from repro.net.analyzer import NetRunReport, analyze_run, render_net_report
+from repro.net.faults import (
+    FaultInjector,
+    FaultProfile,
+    LinkFaults,
+    load_fault_profile,
+)
+from repro.net.fleet import (
+    FleetResult,
+    FleetScenario,
+    load_fleet_scenario,
+    run_fleet,
+)
 from repro.net.node import GossipNode, NodeConfig
 from repro.net.wire import AddressBook, decode_datagram, encode_datagram
 
 __all__ = [
     "AddressBook",
+    "FaultInjector",
+    "FaultProfile",
+    "FleetResult",
+    "FleetScenario",
     "GossipNode",
+    "LinkFaults",
     "NetRunReport",
     "NodeConfig",
     "analyze_run",
     "decode_datagram",
     "encode_datagram",
+    "load_fault_profile",
+    "load_fleet_scenario",
     "render_net_report",
+    "run_fleet",
 ]

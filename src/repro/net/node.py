@@ -30,6 +30,7 @@ from __future__ import annotations
 import asyncio
 import json
 import random
+import signal
 import sys
 import time
 from dataclasses import dataclass, field
@@ -37,6 +38,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.common.errors import ProtocolError
+from repro.common.rng import child_seed
 from repro.core.cyclon import CyclonCore
 from repro.core.dissemination import DisseminationCore
 from repro.core.messages import (
@@ -54,6 +56,7 @@ from repro.core.messages import (
 from repro.core.vicinity import VicinityCore
 from repro.core.views import NodeDescriptor
 from repro.membership.ring_ids import RingProximity
+from repro.net.faults import FaultInjector, FaultProfile
 from repro.net.wire import AddressBook, decode_datagram, encode_datagram
 from repro.sim.node import RING_ID_SPACE, NodeProfile
 
@@ -83,12 +86,22 @@ class NodeConfig:
     pull_period: float = 0.0
     join_retries: int = 10
     log_dir: Optional[Path] = None
+    log_append: bool = False
     run_for: Optional[float] = None
     seed: Optional[int] = None
     node_id: Optional[int] = None
     ring_id: Optional[int] = None
     publish_after: Optional[float] = None
     publish_payload: Any = "hello"
+    faults: Optional[FaultProfile] = None
+    fault_seed: Optional[int] = None
+    # A pending shuffle whose response never arrives is aborted after
+    # this many seconds (None: max(5 * gossip_period, 2.0)).
+    shuffle_timeout: Optional[float] = None
+    # Address-book entries not refreshed by gossip for this long (and
+    # not protecting a view member or in-flight partner) are evicted;
+    # 0 disables eviction.
+    addr_ttl: float = 60.0
 
 
 @dataclass
@@ -152,13 +165,34 @@ class GossipNode:
         self.cycle = 0
         self.transport: Optional[asyncio.DatagramTransport] = None
         self.local_addr: Optional[Address] = None
+        # Timing jitter draws come from a stream of their own so they
+        # never perturb the protocol RNG (and vice versa).
+        self.timing_rng = random.Random(rng.getrandbits(64))
+        self.faults: Optional[FaultInjector] = None
+        if config.faults is not None and config.faults.active:
+            # Per-node fault universes: a shared --fault-seed still
+            # gives every node (and every link) an independent stream.
+            fault_seed = (
+                child_seed(config.fault_seed, f"node-{self.node_id}")
+                if config.fault_seed is not None
+                else child_seed(self.node_id, "faults")
+            )
+            self.faults = FaultInjector(config.faults, fault_seed)
+        self._shuffle_timeout = (
+            config.shuffle_timeout
+            if config.shuffle_timeout is not None
+            else max(5.0 * config.gossip_period, 2.0)
+        )
+        self._pending_since: Dict[int, float] = {}
         self._probes: Dict[int, _PingProbe] = {}
         self._last_ping: Dict[int, float] = {}
         self._welcomed = False
         self._publish_seq = 0
         self._log_file = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._tasks: List[asyncio.Task] = []
         self._stopped = asyncio.Event()
+        self._shutdown_done = False
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -167,6 +201,7 @@ class GossipNode:
     async def start(self) -> Address:
         """Bind the socket, open the log, launch the periodic loops."""
         loop = asyncio.get_running_loop()
+        self._loop = loop
         self.transport, _ = await loop.create_datagram_endpoint(
             lambda: _NodeProtocol(self),
             local_addr=(self.config.host, self.config.port),
@@ -176,7 +211,10 @@ class GossipNode:
         if self.config.log_dir is not None:
             self.config.log_dir.mkdir(parents=True, exist_ok=True)
             path = self.config.log_dir / f"node-{self.node_id:012x}.jsonl"
-            self._log_file = open(path, "w", encoding="utf-8")
+            # A restarted incarnation (fleet churn) appends, so one
+            # file carries the node's whole history for the analyzer.
+            mode = "a" if self.config.log_append else "w"
+            self._log_file = open(path, mode, encoding="utf-8")
         self.log(
             "start",
             addr=list(self.local_addr),
@@ -205,6 +243,9 @@ class GossipNode:
 
     async def shutdown(self) -> None:
         """Cancel the loops, flush the log, close the socket."""
+        if self._shutdown_done:
+            return
+        self._shutdown_done = True
         self._stopped.set()
         for task in self._tasks:
             task.cancel()
@@ -214,6 +255,18 @@ class GossipNode:
             except (asyncio.CancelledError, Exception):
                 pass
         self._tasks.clear()
+        if self.local_addr is not None:
+            # Final overlay snapshot: the analyzer reconstructs views
+            # from these events, and a node killed between gossip
+            # ticks must not leave its last cycle unreported.
+            self.log(
+                "views",
+                cycle=self.cycle,
+                rlinks=list(self.current_rlinks()),
+                dlinks=list(self.current_dlinks()),
+                vic=list(self.vicinity.view.ids()),
+                final=True,
+            )
         self.log("stop", counters=dict(sorted(self.counters.items())))
         if self.transport is not None:
             self.transport.close()
@@ -249,8 +302,29 @@ class GossipNode:
 
     def _send_obj(self, obj: Dict[str, Any], addr: Address) -> None:
         assert self.transport is not None
-        self.transport.sendto(encode_datagram(obj), addr)
+        data = encode_datagram(obj)
         self._count(f"sent.{obj['t']}")
+        if self.faults is None:
+            self.transport.sendto(data, addr)
+            return
+        schedule = self.faults.plan(addr)
+        if not schedule:
+            self._count("faults.dropped")
+            return
+        if len(schedule) > 1:
+            self._count("faults.duplicated")
+        for delay in schedule:
+            if delay <= 0:
+                self.transport.sendto(data, addr)
+            else:
+                self._count("faults.delayed")
+                assert self._loop is not None
+                self._loop.call_later(delay, self._deferred_send, data, addr)
+
+    def _deferred_send(self, data: bytes, addr: Address) -> None:
+        """Deliver an impaired (delayed/duplicated) datagram later."""
+        if self.transport is not None and not self.transport.is_closing():
+            self.transport.sendto(data, addr)
 
     def send_message(self, peer_id: int, message) -> bool:
         """Serialize one core message to ``peer_id``; False if no addr."""
@@ -326,9 +400,10 @@ class GossipNode:
 
     def _on_protocol_message(self, obj: Dict[str, Any], addr: Address) -> None:
         message, learned = message_from_payload(obj)
-        self.addrs.learn_all(learned)
+        now = time.monotonic()
+        self.addrs.learn_all(learned, now)
         # The datagram's source address is ground truth for its sender.
-        self.addrs.learn(message.sender, addr)
+        self.addrs.learn(message.sender, addr, now)
 
         if isinstance(message, (ShuffleRequest, ShuffleResponse)):
             outgoing = self.cyclon.handle_message(message, self.rng)
@@ -375,7 +450,7 @@ class GossipNode:
     def _absorb(self, descriptor: NodeDescriptor, addr: Optional[Address]) -> None:
         """Seed the CYCLON view with a bootstrap-learned descriptor."""
         if addr is not None:
-            self.addrs.learn(descriptor.node_id, addr)
+            self.addrs.learn(descriptor.node_id, addr, time.monotonic())
         if descriptor.node_id == self.node_id:
             return
         if self.cyclon.view.contains(descriptor.node_id):
@@ -406,7 +481,12 @@ class GossipNode:
             self.log("welcome", view=list(self.cyclon.view.ids()))
 
     async def _join_loop(self) -> None:
-        """Send ``join`` to every bootstrap, with bounded backoff."""
+        """Send ``join`` to every bootstrap, with jittered backoff.
+
+        The ±25% jitter matters under loss and mass restarts: many
+        joiners on the same fixed doubling schedule would hammer the
+        bootstrap in synchronized waves.
+        """
         delay = self.config.gossip_period
         for attempt in range(self.config.join_retries):
             if self._welcomed or self._stopped.is_set():
@@ -422,7 +502,9 @@ class GossipNode:
                     },
                     addr,
                 )
-            await asyncio.sleep(delay)
+            await asyncio.sleep(
+                delay * (0.75 + 0.5 * self.timing_rng.random())
+            )
             delay = min(delay * 2, 5.0)
         if not self._welcomed:
             self.log("join_timeout", bootstrap=[list(a) for a in self.config.bootstrap])
@@ -462,6 +544,7 @@ class GossipNode:
             core.discard_peer(partner)
             self._count("drops.partner_no_addr")
         request = core.start_shuffle(partner, self.rng)
+        self._pending_since[partner] = time.monotonic()
         self.send_message(partner, request)
 
     def _vicinity_round(self) -> None:
@@ -505,11 +588,22 @@ class GossipNode:
             0.05, min(self.config.ping_period, self.config.ping_timeout) / 2
         )
         while not self._stopped.is_set():
-            await asyncio.sleep(interval)
+            # ±25% jitter: a cluster restarted en masse must not probe
+            # (and retry) in lock-step after a loss burst.
+            await asyncio.sleep(
+                interval * (0.75 + 0.5 * self.timing_rng.random())
+            )
             self.ping_tick(time.monotonic())
 
     def ping_tick(self, now: float) -> None:
-        """Issue due probes, retry or declare overdue ones."""
+        """Issue due probes, retry or declare overdue ones.
+
+        Doubles as the node's periodic housekeeping tick: overdue
+        in-flight shuffles are aborted and stale address-book entries
+        evicted before probes are considered.
+        """
+        self._reap_pending_shuffles(now)
+        self._evict_stale_addrs(now)
         for peer in self._ping_targets():
             if peer in self._probes:
                 continue
@@ -524,6 +618,45 @@ class GossipNode:
             else:
                 del self._probes[peer]
                 self._peer_down(peer)
+
+    def _reap_pending_shuffles(self, now: float) -> None:
+        """Abort in-flight shuffles whose response is overdue.
+
+        The ping loop eventually reaps a *dead* partner, but a lost
+        response from a live partner — routine under injected loss —
+        would otherwise leave its pending entry behind forever, and a
+        partner whose address never arrived cannot even be probed.
+        Bounding the wait keeps pending state finite however hostile
+        the network.
+        """
+        pending = set(self.cyclon.pending_partners())
+        for peer in list(self._pending_since):
+            if peer not in pending:
+                del self._pending_since[peer]
+        for peer, since in list(self._pending_since.items()):
+            if now - since >= self._shuffle_timeout:
+                self.cyclon.abort_shuffle(peer)
+                del self._pending_since[peer]
+                self._count("shuffle.reaped")
+
+    def _evict_stale_addrs(self, now: float) -> None:
+        """Forget addresses gossip has not refreshed within the TTL.
+
+        View members, in-flight shuffle partners, and peers under an
+        active probe are protected: their addresses are load-bearing
+        even when no fresh descriptor carried them lately.
+        """
+        ttl = self.config.addr_ttl
+        if ttl <= 0:
+            return
+        protect = set(self.cyclon.view.ids())
+        protect.update(self.vicinity.view.ids())
+        protect.update(self.cyclon.pending_partners())
+        protect.update(self._probes)
+        for peer in self.addrs.stale_ids(now - ttl, protect=protect):
+            self.addrs.forget(peer)
+            self._last_ping.pop(peer, None)
+            self._count("addrs.evicted")
 
     def _send_ping(self, peer: int, now: float) -> None:
         addr = self.addrs.get(peer)
@@ -541,10 +674,12 @@ class GossipNode:
             del self._probes[peer]
             return
         probe.attempts += 1
-        # Exponential backoff: each retry waits ping_backoff× longer.
+        # Exponential backoff with ±15% jitter: each retry waits
+        # ping_backoff× longer, desynchronized across probers.
         wait = self.config.ping_timeout * (
             self.config.ping_backoff ** (probe.attempts - 1)
         )
+        wait *= 0.85 + 0.3 * self.timing_rng.random()
         probe.deadline = now + wait
         self._count("ping.retries")
         self._send_obj({"t": "ping", "from": self.node_id, "nonce": peer}, addr)
@@ -559,6 +694,7 @@ class GossipNode:
         self.cyclon.discard_peer(peer)
         self.vicinity.discard_peer(peer)
         self.addrs.forget(peer)
+        self._pending_since.pop(peer, None)
         self._last_ping.pop(peer, None)
         self._count("ping.peer_down")
         self.log("peer_down", peer=peer)
@@ -612,9 +748,27 @@ class GossipNode:
         )
 
 
-async def run_node(config: NodeConfig) -> GossipNode:
-    """Start one node and run it to completion (the CLI entry point)."""
+async def run_node(
+    config: NodeConfig, install_signal_handlers: bool = False
+) -> GossipNode:
+    """Start one node and run it to completion (the CLI entry point).
+
+    With ``install_signal_handlers``, SIGTERM/SIGINT request a clean
+    stop instead of killing the process mid-write: the shutdown path
+    logs the final ``views`` snapshot and flushes the event log, so a
+    fleet supervisor terminating its nodes never truncates the tail
+    the analyzer needs.
+    """
     node = GossipNode(config)
     await node.start()
+    if install_signal_handlers:
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, node.request_stop)
+            except (NotImplementedError, RuntimeError):
+                # Platforms without loop signal support (or non-main
+                # threads) keep the default behavior.
+                break
     await node.run()
     return node

@@ -23,8 +23,10 @@ learned in an :class:`AddressBook`.
 from __future__ import annotations
 
 import json
+import random
 import socket
-from typing import Any, Dict, Optional, Tuple
+import time
+from typing import Any, Dict, Iterable, Optional, Tuple
 
 from repro.common.errors import ProtocolError
 
@@ -82,6 +84,8 @@ def send_publish(
     payload: Any,
     timeout: float = 2.0,
     retries: int = 5,
+    jitter: float = 0.25,
+    rng: Optional[random.Random] = None,
 ) -> str:
     """Inject a message into a running node (``repro net-send``).
 
@@ -90,11 +94,20 @@ def send_publish(
     note that a retry after a *lost ack* makes the node originate a
     second message — harmless for smoke runs, but keep ``retries`` at
     1 when exact message counts matter.
+
+    Each retry waits an extra random ``[0, jitter * timeout)`` seconds
+    — under loss, many senders retrying on the same fixed cadence
+    would otherwise synchronize into bursts that keep colliding.
     """
+    if rng is None:
+        rng = random.Random()
     with socket.socket(socket.AF_INET, socket.SOCK_DGRAM) as sock:
         sock.settimeout(timeout)
         datagram = encode_datagram({"t": "publish", "payload": payload})
-        for _attempt in range(max(1, retries)):
+        attempts = max(1, retries)
+        for attempt in range(attempts):
+            if attempt and jitter > 0:
+                time.sleep(rng.uniform(0.0, jitter * timeout))
             sock.sendto(datagram, endpoint)
             try:
                 data, _addr = sock.recvfrom(65536)
@@ -108,7 +121,7 @@ def send_publish(
                 return str(obj.get("msg_id"))
         raise ProtocolError(
             f"no publish_ack from {endpoint[0]}:{endpoint[1]} after "
-            f"{max(1, retries)} attempts"
+            f"{attempts} attempts"
         )
 
 
@@ -118,25 +131,57 @@ class AddressBook:
     The live counterpart of the simulator's central node registry: a
     node can only message peers whose addresses have travelled to it
     inside gossiped descriptors (or the bootstrap handshake).
+
+    Every entry carries the timestamp of its last (re-)learning, so
+    the runtime can evict addresses of long-gone nodes instead of
+    accumulating them forever under churn (:meth:`stale_ids`).
+    Timestamps are whatever clock the caller passes to :meth:`learn`
+    — the book itself never reads a clock.
     """
 
-    __slots__ = ("_addrs",)
+    __slots__ = ("_addrs", "_stamps")
 
     def __init__(self) -> None:
         self._addrs: Dict[int, Address] = {}
+        self._stamps: Dict[int, float] = {}
 
-    def learn(self, node_id: int, addr: Address) -> None:
+    def learn(self, node_id: int, addr: Address, now: float = 0.0) -> None:
         self._addrs[node_id] = (addr[0], addr[1])
+        self._stamps[node_id] = now
 
-    def learn_all(self, addrs: Dict[int, Address]) -> None:
+    def learn_all(
+        self, addrs: Dict[int, Address], now: float = 0.0
+    ) -> None:
         for node_id, addr in addrs.items():
-            self.learn(node_id, addr)
+            self.learn(node_id, addr, now)
 
     def get(self, node_id: int) -> Optional[Address]:
         return self._addrs.get(node_id)
 
+    def last_seen(self, node_id: int) -> Optional[float]:
+        """When ``node_id``'s address was last learned, or ``None``."""
+        return self._stamps.get(node_id)
+
+    def stale_ids(
+        self, cutoff: float, protect: Iterable[int] = ()
+    ) -> Tuple[int, ...]:
+        """IDs whose address was last learned before ``cutoff``.
+
+        ``protect`` lists IDs that must survive regardless of age —
+        callers pass their current view members and in-flight shuffle
+        partners, whose addresses are load-bearing even when gossip
+        has not refreshed them lately.
+        """
+        protected = frozenset(protect)
+        return tuple(
+            node_id
+            for node_id, stamp in self._stamps.items()
+            if stamp < cutoff and node_id not in protected
+        )
+
     def forget(self, node_id: int) -> None:
         self._addrs.pop(node_id, None)
+        self._stamps.pop(node_id, None)
 
     def known_ids(self) -> Tuple[int, ...]:
         return tuple(self._addrs)

@@ -111,6 +111,22 @@ class TestWire:
         book.forget(7)
         assert book.get(7) is None and 7 not in book
 
+    def test_address_book_staleness(self):
+        book = AddressBook()
+        book.learn(7, ("127.0.0.1", 4000), now=10.0)
+        book.learn_all({8: ("127.0.0.1", 4001)}, now=50.0)
+        assert book.last_seen(7) == 10.0
+        assert book.last_seen(9) is None
+        # Only entries older than the cutoff are stale ...
+        assert set(book.stale_ids(cutoff=20.0)) == {7}
+        # ... unless protected (view member, pending partner).
+        assert book.stale_ids(cutoff=20.0, protect=(7,)) == ()
+        # Re-learning refreshes the stamp.
+        book.learn(7, ("127.0.0.1", 4000), now=60.0)
+        assert book.stale_ids(cutoff=20.0) == ()
+        book.forget(7)
+        assert book.last_seen(7) is None
+
     def test_send_publish_acked_by_fake_node(self):
         sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
         sock.bind(("127.0.0.1", 0))
@@ -269,6 +285,166 @@ class TestNodeLifecycle:
 
 
 # ----------------------------------------------------------------------
+# hardening under loss: shuffle reaping, address eviction, clean stops
+# ----------------------------------------------------------------------
+
+
+class _SilentTransport:
+    """Transport double: records sends, never delivers anything."""
+
+    def __init__(self):
+        self.sent = []
+
+    def sendto(self, data, addr):
+        self.sent.append((data, addr))
+
+    def is_closing(self):
+        return False
+
+
+def _standalone_node(**overrides):
+    """A node with a peer in view and a fake transport — no sockets."""
+    import time
+
+    from repro.core.views import NodeDescriptor
+    from repro.sim.node import NodeProfile
+
+    node = GossipNode(NodeConfig(seed=1, **overrides))
+    node.transport = _SilentTransport()
+    node.local_addr = ("127.0.0.1", 1)
+    peer_id = 0xBEEF
+    node.cyclon.view.add(NodeDescriptor(peer_id, 0, NodeProfile(ring_ids=(5,))))
+    node.addrs.learn(peer_id, ("127.0.0.1", 2), now=time.monotonic())
+    return node, peer_id
+
+
+class TestHardening:
+    def test_pending_shuffle_reaped_under_total_loss(self):
+        """A shuffle whose request the network ate must not pend forever.
+
+        With loss=1.0 the request never leaves the host and the partner
+        never answers; pings can't flag the partner either (they're
+        dropped too, and ping_retries is huge here). Only the
+        shuffle-timeout reaper can free the pending slot.
+        """
+        import time
+
+        from repro.net.faults import FaultProfile, LinkFaults
+
+        node, peer_id = _standalone_node(
+            faults=FaultProfile(default=LinkFaults(loss=1.0)),
+            fault_seed=1,
+            shuffle_timeout=1.0,
+            ping_retries=1000,
+        )
+        node._cyclon_round()
+        assert node.cyclon.pending_partners() == (peer_id,)
+        now = time.monotonic()
+        node.ping_tick(now + 0.5)  # not yet overdue
+        assert node.cyclon.pending_partners() == (peer_id,)
+        node.ping_tick(now + 1.5)
+        assert node.cyclon.pending_partners() == ()
+        assert node.counters["shuffle.reaped"] == 1
+
+    def test_answered_shuffle_is_not_reaped(self):
+        import time
+
+        node, peer_id = _standalone_node(shuffle_timeout=1.0)
+        node._cyclon_round()
+        # The response arrives: core state clears, and the reaper must
+        # drop its stale timestamp instead of aborting anything.
+        node.cyclon.abort_shuffle(peer_id)
+        node.ping_tick(time.monotonic() + 5.0)
+        assert node.counters.get("shuffle.reaped", 0) == 0
+        assert node._pending_since == {}
+
+    def test_stale_addresses_evicted_unless_protected(self):
+        import time
+
+        node, peer_id = _standalone_node(addr_ttl=1.0)
+        stranger = 0xDEAD
+        now = time.monotonic()
+        node.addrs.learn(stranger, ("127.0.0.1", 3), now=now - 10.0)
+        node.addrs.learn(peer_id, ("127.0.0.1", 2), now=now - 10.0)
+        node.ping_tick(now)
+        # The stranger (in no view) is gone; the view member survives.
+        assert node.addrs.get(stranger) is None
+        assert node.addrs.get(peer_id) is not None
+        assert node.counters["addrs.evicted"] == 1
+
+    def test_addr_ttl_zero_disables_eviction(self):
+        import time
+
+        node, _peer_id = _standalone_node(addr_ttl=0.0)
+        stranger = 0xDEAD
+        node.addrs.learn(stranger, ("127.0.0.1", 3), now=0.0)
+        node.ping_tick(time.monotonic())
+        assert node.addrs.get(stranger) is not None
+
+    def test_shutdown_logs_final_views_once(self, tmp_path):
+        async def scenario():
+            node = GossipNode(NodeConfig(seed=1, log_dir=tmp_path, **FAST))
+            await node.start()
+            await node.shutdown()
+            await node.shutdown()  # idempotent: no duplicate events
+
+        asyncio.run(scenario())
+        (path,) = tmp_path.glob("*.jsonl")
+        events = [json.loads(line) for line in path.read_text().splitlines()]
+        finals = [e for e in events if e["event"] == "views" and e.get("final")]
+        assert len(finals) == 1
+        assert [e["event"] for e in events[-2:]] == ["views", "stop"]
+
+    def test_sigterm_flushes_log_cleanly(self, tmp_path):
+        """A SIGTERM'd `repro node` process ends its log with stop."""
+        import os
+        import signal
+        import subprocess
+        import sys
+        import time
+        from pathlib import Path
+
+        import repro
+
+        env = dict(os.environ)
+        src = str(Path(repro.__file__).resolve().parents[1])
+        env["PYTHONPATH"] = (
+            src
+            if not env.get("PYTHONPATH")
+            else os.pathsep.join((src, env["PYTHONPATH"]))
+        )
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "node", "--port", "0",
+                "--seed", "5", "--run-for", "30",
+                "--log-dir", str(tmp_path),
+            ],
+            env=env,
+        )
+        try:
+            deadline = time.monotonic() + 15.0
+            while time.monotonic() < deadline:
+                logs = list(tmp_path.glob("*.jsonl"))
+                if logs and "start" in logs[0].read_text():
+                    break
+                time.sleep(0.1)
+            else:
+                raise AssertionError("node never wrote its start event")
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=15) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+        (path,) = tmp_path.glob("*.jsonl")
+        events = [json.loads(line) for line in path.read_text().splitlines()]
+        assert events[-1]["event"] == "stop"
+        assert any(
+            e["event"] == "views" and e.get("final") for e in events
+        )
+
+
+# ----------------------------------------------------------------------
 # analyzer on synthetic logs: hand-computable numbers
 # ----------------------------------------------------------------------
 
@@ -401,6 +577,53 @@ class TestAnalyzerSyntheticLogs:
         with pytest.raises(ConfigurationError, match="no .jsonl"):
             analyze_run(tmp_path)
 
+    def test_garbage_lines_skipped_with_count(self, tmp_path):
+        """A node crashed mid-write must not take the analysis down."""
+        _chain_logs(tmp_path)
+        path = tmp_path / f"node-{1:012x}.jsonl"
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"ts": 101.0, "node": 1, "event": "vi')  # truncated
+            handle.write("\n[1, 2, 3]\n")  # not an object
+            handle.write('{"ts": 101.0, "event": "no-node-key"}\n')
+        report = analyze_run(tmp_path, sim_trials=5)
+        assert report.skipped_lines == 3
+        # The parseable telemetry still yields the full numbers.
+        assert report.population == 3
+        assert report.delivery_ratio == 1.0
+        text = render_net_report(report)
+        assert "skipped 3 unparseable" in text
+        assert report.to_dict()["skipped_lines"] == 3
+
+    def test_clean_logs_report_zero_skips(self, tmp_path):
+        _chain_logs(tmp_path)
+        report = analyze_run(tmp_path, sim_trials=5)
+        assert report.skipped_lines == 0
+        assert "unparseable" not in render_net_report(report)
+
+    def test_push_only_vs_post_pull_ratios(self, tmp_path):
+        _chain_logs(tmp_path)
+        # Node 3's delivery becomes a pull recovery: push-only drops
+        # to 2/3 while the post-pull ratio stays perfect.
+        write_log(
+            tmp_path,
+            3,
+            [
+                {"ts": 90.0, "node": 3, "event": "start",
+                 "protocol": "flooding", "fanout": 1, "ring_id": 30},
+                {"ts": 99.0, "node": 3, "event": "views", "cycle": 9,
+                 "rlinks": [2], "dlinks": []},
+                {"ts": 101.0, "node": 3, "event": "deliver", "msg_id": "m-1",
+                 "origin": 1, "hop": None, "via": "pull"},
+            ],
+        )
+        report = analyze_run(tmp_path, sim_trials=5)
+        (m,) = report.messages
+        assert m.delivery_ratio == 1.0
+        assert m.push_ratio == pytest.approx(2 / 3)
+        assert report.push_delivery_ratio == pytest.approx(2 / 3)
+        assert report.delivery_ratio == 1.0
+        assert "push-only 0.667" in render_net_report(report)
+
 
 # ----------------------------------------------------------------------
 # CLI wiring
@@ -441,6 +664,36 @@ class TestNetCli:
         assert "ratio 1.000" in out
         saved = json.loads(json_out.read_text())
         assert saved["delivery_ratio"] == 1.0
+
+    def test_net_analyze_push_ratio_gate(self, tmp_path, capsys):
+        from repro.cli import main
+
+        _chain_logs(tmp_path)
+        # All-push logs: the gate must fail (impairment didn't bite).
+        with pytest.raises(SystemExit, match="not below"):
+            main(["net-analyze", str(tmp_path), "--sim-trials", "5",
+                  "--expect-push-ratio-below", "1.0"])
+        # Turn node 3's delivery into a pull recovery: gate passes.
+        write_log(
+            tmp_path,
+            3,
+            [
+                {"ts": 90.0, "node": 3, "event": "start",
+                 "protocol": "flooding", "fanout": 1, "ring_id": 30},
+                {"ts": 99.0, "node": 3, "event": "views", "cycle": 9,
+                 "rlinks": [2], "dlinks": []},
+                {"ts": 101.0, "node": 3, "event": "deliver", "msg_id": "m-1",
+                 "origin": 1, "hop": None, "via": "pull"},
+            ],
+        )
+        assert (
+            main(["net-analyze", str(tmp_path), "--sim-trials", "5",
+                  "--expect-ratio", "1.0",
+                  "--expect-push-ratio-below", "1.0"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "pull closed the gap to 1.000" in out
 
     def test_net_analyze_ratio_gate_fails(self, tmp_path):
         from repro.cli import main
